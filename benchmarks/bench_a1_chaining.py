@@ -1,0 +1,91 @@
+"""A1 (ablation) — what does profile-driven chain formation actually buy?
+
+DESIGN.md's design-choice #4: compare three placement policies analytically
+(exact expected metrics under the oracle branch probabilities, so no
+simulation noise):
+
+* **source-order** — no placement at all;
+* **structure-only** — the same Pettis–Hansen chaining but fed the
+  uninformed theta = 0.5 vector (what a compiler could do with no profile:
+  layout follows CFG structure only);
+* **profile-driven** — chaining fed the true probabilities.
+
+The ablation isolates the *profile's* contribution from the *algorithm's*.
+Finding (pinned by the assertions): structure-only chaining is NOT reliably
+better than source order — with uninformative 50/50 weights the chain order
+is essentially arbitrary, and it can even disturb branches that source
+order happened to align.  The value is in the probabilities, not the
+chaining algorithm per se.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, profiled_run
+from repro.markov.builders import BranchParameterization
+from repro.placement import (
+    evaluate_program_layout,
+    optimize_program_layout,
+    source_order_layout,
+)
+from repro.util.tables import Table
+from repro.workloads.registry import all_workloads
+
+
+def _run_ablation(config: ExperimentConfig) -> ExperimentResult:
+    table = Table(
+        "A1: expected mispredictions per activation by placement policy",
+        ["workload", "source_order", "structure_only", "profile_driven"],
+    )
+    series: dict[str, list] = {"workload": [], "policy": [], "mispredicts": []}
+    for spec in all_workloads():
+        run_data = profiled_run(spec, config)
+        truth = run_data.truth
+        uniform = {
+            proc.name: np.full(BranchParameterization(proc.cfg).n_parameters, 0.5)
+            for proc in run_data.program
+        }
+        layouts = {
+            "source_order": source_order_layout(run_data.program),
+            "structure_only": optimize_program_layout(run_data.program, uniform),
+            "profile_driven": optimize_program_layout(run_data.program, truth),
+        }
+        row = [spec.name]
+        for policy, layout in layouts.items():
+            metrics = evaluate_program_layout(
+                run_data.program, layout, truth, config.platform
+            )
+            row.append(metrics.mispredicts)
+            series["workload"].append(spec.name)
+            series["policy"].append(policy)
+            series["mispredicts"].append(metrics.mispredicts)
+        table.add_row(*row)
+    return ExperimentResult(
+        experiment_id="a1",
+        title="chain-formation ablation",
+        tables=[table],
+        series=series,
+    )
+
+
+def test_a1_chaining_ablation(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        _run_ablation, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    totals = {"source_order": 0.0, "structure_only": 0.0, "profile_driven": 0.0}
+    for policy, m in zip(series["policy"], series["mispredicts"]):
+        totals[policy] += m
+    # The profile dominates: far below both no-placement and blind chaining.
+    assert totals["profile_driven"] < 0.6 * totals["source_order"]
+    assert totals["profile_driven"] < 0.6 * totals["structure_only"]
+    by_key = {
+        (w, p): m
+        for w, p, m in zip(series["workload"], series["policy"], series["mispredicts"])
+    }
+    for w in set(series["workload"]):
+        # Per workload: profile-driven never worse than either alternative.
+        assert by_key[(w, "profile_driven")] <= by_key[(w, "source_order")] + 1e-9, w
+        assert by_key[(w, "profile_driven")] <= by_key[(w, "structure_only")] + 1e-9, w

@@ -1,0 +1,30 @@
+"""F1 — regenerate the per-workload estimation-accuracy figure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig_f1_accuracy
+
+
+def test_f1_estimation_accuracy(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f1_accuracy.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    tomo = [
+        mae
+        for est, mae in zip(series["estimator"], series["mae"])
+        if est == "code-tomography"
+    ]
+    sampling = [
+        mae
+        for est, mae in zip(series["estimator"], series["mae"])
+        if est == "pc-sampling"
+    ]
+    # Paper shape: timing-only estimation beats PC sampling on aggregate and
+    # is accurate (< 0.10 MAE) on most workloads.
+    assert np.mean(tomo) < np.mean(sampling)
+    assert sum(1 for m in tomo if m < 0.10) >= 4
+    assert np.mean(tomo) < 0.10

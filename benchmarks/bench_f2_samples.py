@@ -1,0 +1,22 @@
+"""F2 — regenerate the accuracy-vs-sample-count sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig_f2_samples
+
+
+def test_f2_accuracy_vs_samples(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f2_samples.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    for workload in set(series["workload"]):
+        points = sorted(
+            (n, mae)
+            for wl, n, mae in zip(series["workload"], series["samples"], series["mae"])
+            if wl == workload
+        )
+        # Paper shape: the largest budget is at least as accurate as the
+        # smallest (monotone-ish decay; small wiggles tolerated).
+        assert points[-1][1] <= points[0][1] + 0.02, workload

@@ -1,0 +1,29 @@
+"""F3 — regenerate the accuracy-vs-timer-resolution sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig_f3_resolution
+
+
+def test_f3_accuracy_vs_resolution(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f3_resolution.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    for workload in set(series["workload"]):
+        clean = sorted(
+            (cpt, mae)
+            for wl, cpt, jitter, mae in zip(
+                series["workload"],
+                series["cycles_per_tick"],
+                series["jitter"],
+                series["mae"],
+            )
+            if wl == workload and jitter == 0.0
+        )
+        # Paper shape: coarser ticks cannot beat the cycle-exact timer, and
+        # a fine (~1 MHz-class, <= 8 cycles/tick) timer stays accurate.
+        assert clean[0][1] <= clean[-1][1] + 0.02, workload
+        fine = [mae for cpt, mae in clean if cpt <= 8]
+        assert min(fine) < 0.10, workload

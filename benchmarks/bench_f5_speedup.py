@@ -1,0 +1,27 @@
+"""F5 — regenerate the cycle-reduction figure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig_f5_speedup
+
+
+def test_f5_cycle_reduction(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f5_speedup.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    by_key = {
+        (wl, strat): s
+        for wl, strat, s in zip(
+            series["workload"], series["strategy"], series["speedup"]
+        )
+    }
+    workloads = sorted({wl for wl, _ in by_key})
+    # Paper shapes: tomography speedup ~= oracle speedup per workload, and
+    # the aggregate speedup over source order is positive.
+    for wl in workloads:
+        assert by_key[(wl, "tomography")] >= 0.97 * by_key[(wl, "oracle")], wl
+    assert np.mean([by_key[(wl, "tomography")] for wl in workloads]) > 1.0

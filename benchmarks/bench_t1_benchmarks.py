@@ -1,0 +1,17 @@
+"""T1 — regenerate the benchmark-characteristics table."""
+
+from __future__ import annotations
+
+from repro.experiments import table_t1_benchmarks
+
+
+def test_t1_benchmark_characteristics(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        table_t1_benchmarks.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    table = result.tables[0]
+    assert len(table.rows) == 6
+    # Suite must exercise loops and calls (the shapes placement cares about).
+    assert sum(int(v) for v in table.column("loops")) >= 3
+    assert sum(int(v) for v in table.column("calls")) >= 3

@@ -1,0 +1,29 @@
+"""T2 — regenerate the profiling-overhead comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table_t2_overhead
+
+
+def test_t2_profiling_overhead(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        table_t2_overhead.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    by_key = {
+        (wl, scheme): pct
+        for wl, scheme, pct in zip(
+            series["workload"], series["scheme"], series["runtime_pct"]
+        )
+    }
+    workloads = sorted({wl for wl, _ in by_key})
+    # Paper shape: tomography's runtime overhead below full edge
+    # instrumentation on every workload, and far below on aggregate.
+    for wl in workloads:
+        assert by_key[(wl, "code-tomography")] < by_key[(wl, "edge-instrumentation")]
+    tomo = np.mean([by_key[(wl, "code-tomography")] for wl in workloads])
+    edge = np.mean([by_key[(wl, "edge-instrumentation")] for wl in workloads])
+    assert tomo < 0.6 * edge

@@ -1,0 +1,25 @@
+"""T3 — regenerate the estimator ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import table_t3_estimators
+
+
+def test_t3_estimator_ablation(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        table_t3_estimators.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    errors = {
+        (suite, variant): mae
+        for suite, variant, mae in zip(
+            series["suite"], series["variant"], series["mae"]
+        )
+    }
+    # Design-choice shapes: variance information helps over mean-only on
+    # both suites; the full three-moment fit is competitive with two.
+    for suite in ("synthetic", "sense"):
+        assert errors[(suite, "moments-2")] < errors[(suite, "moments-1")]
+    # The hybrid must be at least as good as plain EM on the workload.
+    assert errors[("sense", "hybrid")] <= errors[("sense", "em")] + 0.02

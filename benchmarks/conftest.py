@@ -1,0 +1,37 @@
+"""Benchmark-suite fixtures.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures (see
+DESIGN.md's per-experiment index), measures how long the regeneration takes
+via pytest-benchmark, asserts the experiment's qualitative shape, and writes
+the rendered rows/series to ``benchmarks/results/<id>.txt`` so the numbers
+are inspectable after a ``--benchmark-only`` run (which captures stdout).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Full-size configuration used by every benchmark."""
+    return ExperimentConfig(activations=3000, seed=2015, quick=False)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist an experiment's rendered tables next to the benchmarks."""
+
+    def _save(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+        return result
+
+    return _save

@@ -1,0 +1,111 @@
+"""A TinyOS-style multi-task deployment on the cooperative scheduler.
+
+The other examples drive the entry procedure directly; this one runs a mote
+the way TinyOS does — periodic timer tasks posted to a run-to-completion
+scheduler — with *two* applications sharing the CPU: a fast sampling task
+and a slow housekeeping task.  The tomography collector sees the merged
+invocation stream and still recovers each procedure's branch profile,
+because measurements are keyed by procedure, not by task.
+
+Run:  python examples/multitask_scheduler.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CodeTomography, EstimationOptions
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, Scheduler, SensorSuite, Task, UniformSensor
+from repro.profiling import TimingProfiler
+from repro.sim import Interpreter
+
+SOURCE = """
+# Two cooperating tasks compiled into one image.
+global backlog = 0;
+
+proc sample_task() {
+    var v = sense(vibration);
+    if (v > 870) {               # ~15%: report and queue an event
+        send(v);
+        backlog = backlog + 1;
+    }
+}
+
+proc housekeeping_task() {
+    while (backlog > 0) {        # drain whatever accumulated
+        send(backlog);
+        backlog = backlog - 1;
+    }
+    if (sense(battery) > 204) {  # ~80%: battery fine
+        led(2);
+    } else {
+        led(1);
+        send(0);                 # low-battery beacon
+    }
+}
+
+proc main() {
+    sample_task();
+}
+"""
+
+SAMPLE_PERIOD = 10_000  # cycles between sampling activations
+HOUSEKEEPING_PERIOD = 80_000
+
+
+def main() -> None:
+    platform = MICAZ_LIKE
+    program = compile_source(SOURCE, "multitask")
+    sensors = SensorSuite(
+        {"vibration": UniformSensor(), "battery": UniformSensor()}, rng=5
+    )
+    interp = Interpreter(program, platform, sensors)
+
+    # Wire both procedures to periodic scheduler tasks.  Each task body runs
+    # the procedure on the shared interpreter and charges its cycles to the
+    # scheduler's virtual clock.
+    scheduler = Scheduler()
+
+    def run_proc(name):
+        def action(now: int) -> None:
+            before = interp.cycle
+            interp.invoke(name)
+            scheduler.advance(interp.cycle - before)
+
+        return action
+
+    scheduler.post(Task("sample", run_proc("sample_task"), period_cycles=SAMPLE_PERIOD))
+    scheduler.post(
+        Task("housekeeping", run_proc("housekeeping_task"), period_cycles=HOUSEKEEPING_PERIOD)
+    )
+    scheduler.run(max_activations=18_000)
+    print(f"scheduler ran {scheduler.activations} activations, "
+          f"virtual clock {scheduler.now_cycles} cycles, "
+          f"{interp.radio.packet_count} packets sent")
+
+    dataset = TimingProfiler(platform, rng=6).collect(interp.records)
+    estimate = CodeTomography(program, platform).estimate(
+        dataset, EstimationOptions(method="hybrid", seed=7)
+    )
+    truth = {
+        p.name: interp.counters.true_branch_probabilities(p) for p in program
+    }
+    print("\nper-procedure estimates from the merged invocation stream:")
+    for name in sorted(truth):
+        if truth[name].size:
+            print(f"  {name:18s} ({dataset.count(name):5d} samples) "
+                  f"est {np.round(estimate.thetas[name], 3)} "
+                  f"true {np.round(truth[name], 3)}")
+    print(
+        "\nNote: housekeeping_task's drain loop is driven by accumulated\n"
+        "state (backlog), not a memoryless coin, so its trip-count\n"
+        "distribution is not geometric; the Markov fit recovers the\n"
+        "time-averaged continue probability and absorbs part of the\n"
+        "mismatch into the battery branch — the model-fidelity limit\n"
+        "measured in experiment F6."
+    )
+
+
+if __name__ == "__main__":
+    main()

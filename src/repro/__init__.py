@@ -1,0 +1,36 @@
+"""Code Tomography — reproduction of Wan, Cao & Zhou (ISPASS 2015).
+
+Estimation-based profiling for code placement optimization in sensor network
+programs: model procedure execution under nondeterministic inputs as an
+absorbing Markov chain over basic blocks, estimate its branch probabilities
+from **end-to-end timing measured only at procedure entry/exit**, and feed
+the estimates back into a basic-block placement pass that reduces static
+branch mispredictions.
+
+Quick tour (see ``examples/quickstart.py`` for the runnable version)::
+
+    from repro.lang import compile_source
+    from repro.mote import MICAZ_LIKE, SensorSuite, IIDSensor
+    from repro.sim import run_program
+    from repro.profiling import TimingProfiler
+    from repro.core import CodeTomography
+    from repro.placement import optimize_program_layout
+
+    program = compile_source(SOURCE, "app")
+    result = run_program(program, MICAZ_LIKE, sensors, activations=3000)
+    dataset = TimingProfiler(MICAZ_LIKE).collect(result.records)
+    estimate = CodeTomography(program, MICAZ_LIKE).estimate(dataset)
+    layout = optimize_program_layout(program, estimate.thetas)
+
+Subpackages: ``ir`` (program IR), ``lang`` (TinyScript front end), ``markov``
+(absorbing-chain math), ``mote`` (hardware model), ``sim`` (execution engine
++ analytic timing model), ``profiling`` (collectors and overhead),
+``core`` (the tomography estimators), ``placement`` (layout optimization),
+``workloads`` (benchmark suite), ``analysis``/``experiments`` (evaluation).
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,41 @@
+"""Aggregation of error measurements across repetitions and workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ErrorSummary", "summarize_errors"]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of repeated error measurements."""
+
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def as_row(self) -> tuple[float, float, float, int]:
+        """``(mean, std, max, count)`` — the columns the tables print."""
+        return (self.mean, self.std, self.maximum, self.count)
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Summarize a list of per-repetition error values."""
+    xs = np.asarray(errors, dtype=float)
+    if xs.size == 0:
+        raise ValueError("summarize_errors needs at least one value")
+    return ErrorSummary(
+        mean=float(xs.mean()),
+        std=float(xs.std()),
+        median=float(np.median(xs)),
+        minimum=float(xs.min()),
+        maximum=float(xs.max()),
+        count=int(xs.size),
+    )

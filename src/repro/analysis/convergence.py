@@ -1,0 +1,57 @@
+"""Convergence-rate analysis of accuracy-vs-samples series.
+
+F2 claims error decays roughly as 1/sqrt(n).  This module makes the claim
+checkable: fit ``error ≈ c * n^alpha`` by least squares in log–log space and
+report the exponent with its residual, so a benchmark can assert
+``alpha ≈ -0.5`` instead of eyeballing a curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``error ≈ coefficient * n^exponent`` plus fit quality."""
+
+    exponent: float
+    coefficient: float
+    residual: float  # RMS residual in log space
+    n_points: int
+
+    def predict(self, n: float) -> float:
+        """Predicted error at sample count ``n``."""
+        return self.coefficient * n**self.exponent
+
+
+def fit_power_law(samples: Sequence[float], errors: Sequence[float]) -> PowerLawFit:
+    """Fit a power law through (samples, errors) pairs.
+
+    Requires at least two points with positive coordinates; zero errors are
+    floored at a tiny epsilon (a perfectly recovered point would otherwise
+    break the log transform).
+    """
+    ns = np.asarray(samples, dtype=float)
+    es = np.maximum(np.asarray(errors, dtype=float), 1e-12)
+    if ns.shape != es.shape or ns.size < 2:
+        raise ValueError("need at least two matching (samples, error) points")
+    if np.any(ns <= 0):
+        raise ValueError("sample counts must be positive")
+    log_n = np.log(ns)
+    log_e = np.log(es)
+    design = np.vstack([log_n, np.ones_like(log_n)]).T
+    (slope, intercept), *_ = np.linalg.lstsq(design, log_e, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    residual = float(np.sqrt(np.mean((predicted - log_e) ** 2)))
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        residual=residual,
+        n_points=int(ns.size),
+    )

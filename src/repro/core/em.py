@@ -1,0 +1,181 @@
+"""Expectation–maximization estimation over latent block paths.
+
+Each measured duration ``y_i`` came from some unobserved entry-to-exit path.
+Treating the path as the latent variable gives a classic EM scheme:
+
+* **E-step** — with the current ``theta_t``, enumerate the most probable
+  path family and compute responsibilities
+  ``γ_ip ∝ P(p | theta_t) · N(y_i; d_p, σ_p²)``, where ``d_p`` is the path's
+  duration mean and ``σ_p²`` combines the timer's quantization/jitter
+  variance with the path's callee-time variance;
+* **M-step** — each branch probability becomes the responsibility-weighted
+  fraction of its then-arm counts:
+  ``theta_k = Σ_ip γ_ip a_pk / Σ_ip γ_ip (a_pk + b_pk)``.
+
+The family is re-enumerated whenever the iterate moves materially, so paths
+likely under the *estimate* (not under the 0.5 prior) stay covered.
+Observations matching no enumerated path (all kernels ≈ 0) are dropped from
+that iteration rather than poisoning the weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.path_enum import PathFamily, enumerate_paths
+from repro.mote.timer import TimestampTimer
+from repro.sim.timing import ProcedureTimingModel
+
+__all__ = ["EMResult", "EMEstimator"]
+
+_MIN_KERNEL_STD = 0.5
+
+
+@dataclass(frozen=True)
+class EMResult:
+    """Outcome of one EM run."""
+
+    theta: np.ndarray
+    iterations: int
+    converged: bool
+    log_likelihood: float
+    n_samples: int
+    n_paths: int
+    dropped_observations: int
+
+
+class EMEstimator:
+    """EM over enumerated paths for one procedure."""
+
+    def __init__(
+        self,
+        model: ProcedureTimingModel,
+        timer: Optional[TimestampTimer] = None,
+        max_iterations: int = 60,
+        tolerance: float = 1e-4,
+        min_prob: float = 1e-6,
+        max_paths: int = 2000,
+        reenumerate_shift: float = 0.05,
+    ) -> None:
+        if max_iterations < 1:
+            raise EstimationError(f"max_iterations must be >= 1, got {max_iterations}")
+        if tolerance <= 0:
+            raise EstimationError(f"tolerance must be positive, got {tolerance}")
+        self.model = model
+        self.timer = timer
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.min_prob = min_prob
+        self.max_paths = max_paths
+        self.reenumerate_shift = reenumerate_shift
+
+    def _kernel_variance(self) -> float:
+        if self.timer is None:
+            return _MIN_KERNEL_STD**2
+        cpt = self.timer.cycles_per_tick
+        noise = cpt * cpt / 6.0 + 2.0 * self.timer.jitter_cycles**2
+        return max(noise, _MIN_KERNEL_STD**2)
+
+    def _log_kernel(
+        self, observations: np.ndarray, family: PathFamily
+    ) -> np.ndarray:
+        """``log N(y_i; d_p, σ_p²)`` as an (n_obs, n_paths) matrix."""
+        d, path_var = family.durations()
+        var = self._kernel_variance() + path_var  # (n_paths,)
+        diff = observations[:, None] - d[None, :]
+        return -0.5 * (diff**2 / var[None, :] + np.log(2.0 * np.pi * var[None, :]))
+
+    def fit(
+        self,
+        durations: Sequence[float],
+        theta0: Optional[Sequence[float]] = None,
+    ) -> EMResult:
+        """Run EM on measured ``durations``; ``theta0`` defaults to 0.5."""
+        ys = np.asarray(durations, dtype=float)
+        if ys.size == 0:
+            raise EstimationError("EMEstimator.fit needs at least one duration sample")
+        k = self.model.n_parameters
+        if k == 0:
+            return EMResult(
+                theta=np.empty(0),
+                iterations=0,
+                converged=True,
+                log_likelihood=0.0,
+                n_samples=int(ys.size),
+                n_paths=0,
+                dropped_observations=0,
+            )
+        theta = np.full(k, 0.5) if theta0 is None else np.asarray(theta0, dtype=float)
+        if theta.shape != (k,):
+            raise EstimationError(f"theta0 must have length {k}, got {theta.shape}")
+        theta = np.clip(theta, 0.02, 0.98)
+
+        family = enumerate_paths(
+            self.model, theta, min_prob=self.min_prob, max_paths=self.max_paths
+        )
+        log_kernel = self._log_kernel(ys, family)
+        a_mat, b_mat = family.arm_count_matrices()
+        family_theta = theta.copy()
+
+        converged = False
+        log_likelihood = -np.inf
+        dropped = 0
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            # Re-enumerate when the iterate has drifted from the family's base.
+            if np.max(np.abs(theta - family_theta)) > self.reenumerate_shift:
+                family = enumerate_paths(
+                    self.model, theta, min_prob=self.min_prob, max_paths=self.max_paths
+                )
+                log_kernel = self._log_kernel(ys, family)
+                a_mat, b_mat = family.arm_count_matrices()
+                family_theta = theta.copy()
+
+            log_prior = np.array([p.log_probability(theta) for p in family.paths])
+            # Renormalize the truncated path family into a proper mixture so
+            # that (a) responsibilities are unbiased by enumeration coverage
+            # and (b) log-likelihoods are comparable across families with
+            # different truncation (the hybrid start-race relies on this).
+            prior_max = log_prior.max()
+            log_mass = prior_max + np.log(np.sum(np.exp(log_prior - prior_max)))
+            log_prior = log_prior - log_mass
+            log_joint = log_kernel + log_prior[None, :]  # (n_obs, n_paths)
+            row_max = log_joint.max(axis=1)
+            usable = np.isfinite(row_max)
+            dropped = int(np.sum(~usable))
+            if not np.any(usable):
+                raise EstimationError(
+                    "every observation is incompatible with the enumerated paths"
+                )
+            shifted = np.exp(log_joint[usable] - row_max[usable, None])
+            norm = shifted.sum(axis=1, keepdims=True)
+            resp = shifted / norm
+            log_likelihood = float(np.sum(np.log(norm[:, 0]) + row_max[usable]))
+
+            then_counts = resp @ a_mat[:, :]  # (n_usable, k)
+            else_counts = resp @ b_mat[:, :]
+            a_total = then_counts.sum(axis=0)
+            b_total = else_counts.sum(axis=0)
+            denom = a_total + b_total
+            new_theta = np.where(denom > 0, a_total / np.maximum(denom, 1e-12), theta)
+            new_theta = np.clip(new_theta, 1e-4, 1.0 - 1e-4)
+
+            if np.max(np.abs(new_theta - theta)) < self.tolerance:
+                theta = new_theta
+                converged = True
+                break
+            theta = new_theta
+
+        return EMResult(
+            theta=theta,
+            iterations=iterations,
+            converged=converged,
+            log_likelihood=log_likelihood,
+            n_samples=int(ys.size),
+            n_paths=len(family),
+            dropped_observations=dropped,
+        )

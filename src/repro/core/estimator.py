@@ -1,0 +1,250 @@
+"""The Code Tomography facade: whole-program estimation.
+
+:class:`CodeTomography` orchestrates the per-procedure estimators over the
+program's (acyclic) call graph, bottom-up: leaves are estimated first, their
+*estimated* time distributions are folded into their callers' timing models,
+and so on to the entry procedure.  That composition is the "tomography" of
+the name — every procedure is reconstructed from boundary measurements only,
+and the reconstruction of one feeds the model of the next.
+
+Methods:
+
+* ``"moments"`` — moment matching (robust default, scales to any CFG);
+* ``"em"``      — path-family EM (sharper on multi-branch procedures when
+  the timer is decent, costlier);
+* ``"hybrid"``  — moments fit first, then EM refinement from that start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.em import EMEstimator
+from repro.core.identifiability import analyze_identifiability
+from repro.core.moments_fit import fit_moments
+from repro.ir.program import Program
+from repro.markov.moments import RewardMoments
+from repro.mote.platform import Platform
+from repro.placement.layout import ProgramLayout
+from repro.profiling.timing_profiler import TimingDataset
+from repro.sim.timing import ProcedureTimingModel, ProgramTimingModel
+from repro.util.rng import RngSource, as_rng
+
+__all__ = [
+    "EstimationOptions",
+    "ProcedureEstimate",
+    "EstimationResult",
+    "CodeTomography",
+]
+
+_METHODS = ("moments", "em", "hybrid")
+
+
+@dataclass(frozen=True)
+class EstimationOptions:
+    """Tuning knobs shared by all procedures in one estimation run."""
+
+    method: str = "moments"
+    moments_used: int = 3
+    prior_weight: float = 1e-3
+    restarts: int = 8
+    em_max_iterations: int = 60
+    em_tolerance: float = 1e-4
+    em_min_prob: float = 1e-6
+    em_max_paths: int = 2000
+    check_identifiability: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in _METHODS:
+            raise EstimationError(
+                f"method must be one of {_METHODS}, got {self.method!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ProcedureEstimate:
+    """One procedure's estimated branch probabilities plus diagnostics."""
+
+    procedure: str
+    theta: np.ndarray
+    n_samples: int
+    method: str
+    fit_cost: float
+    predicted_moments: tuple[float, float, float]
+    observed_moments: Optional[tuple[float, float, float]]
+    warnings: tuple[str, ...] = ()
+
+
+@dataclass
+class EstimationResult:
+    """Whole-program estimation outcome."""
+
+    estimates: dict[str, ProcedureEstimate] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def thetas(self) -> dict[str, np.ndarray]:
+        """Per-procedure probability vectors, the placement pass's input."""
+        return {name: est.theta for name, est in self.estimates.items()}
+
+    def estimate_for(self, proc_name: str) -> ProcedureEstimate:
+        """Look up one procedure's estimate."""
+        try:
+            return self.estimates[proc_name]
+        except KeyError:
+            raise EstimationError(f"no estimate for procedure {proc_name!r}") from None
+
+
+class CodeTomography:
+    """Estimates branch probabilities from end-to-end procedure timings."""
+
+    def __init__(
+        self,
+        program: Program,
+        platform: Platform,
+        layout: Optional[ProgramLayout] = None,
+    ) -> None:
+        self.program = program
+        self.platform = platform
+        self.layout = layout or ProgramLayout.source_order(program)
+        self._timing = ProgramTimingModel(program, platform, self.layout)
+
+    def estimate(
+        self,
+        dataset: TimingDataset,
+        options: Optional[EstimationOptions] = None,
+        rng: RngSource = None,
+    ) -> EstimationResult:
+        """Estimate every procedure's branch probabilities from ``dataset``.
+
+        Procedures with no timing samples fall back to the uninformed 0.5
+        vector with a warning — downstream placement still works, it just
+        gets no information for that procedure.
+        """
+        opts = options or EstimationOptions()
+        gen = as_rng(rng if rng is not None else opts.seed)
+        result = EstimationResult()
+        callee_moments: dict[str, RewardMoments] = {}
+
+        for proc in self.program.topological_procedures():
+            model = self._timing.procedure_model(proc.name, callee_moments)
+            estimate = self._estimate_procedure(model, dataset, opts, gen)
+            result.estimates[proc.name] = estimate
+            result.warnings.extend(estimate.warnings)
+            # Fold this procedure's *estimated* time distribution into callers.
+            callee_moments[proc.name] = model.moments(estimate.theta)
+        return result
+
+    # -- per-procedure dispatch ----------------------------------------------
+
+    def _estimate_procedure(
+        self,
+        model: ProcedureTimingModel,
+        dataset: TimingDataset,
+        opts: EstimationOptions,
+        gen: np.random.Generator,
+    ) -> ProcedureEstimate:
+        name = model.procedure.name
+        k = model.n_parameters
+        warnings: list[str] = []
+
+        if k == 0:
+            theta = np.empty(0)
+            return ProcedureEstimate(
+                procedure=name,
+                theta=theta,
+                n_samples=dataset.count(name),
+                method="trivial",
+                fit_cost=0.0,
+                predicted_moments=model.moments(theta).as_tuple(),
+                observed_moments=None,
+            )
+
+        if dataset.count(name) == 0:
+            theta = np.full(k, 0.5)
+            warnings.append(
+                f"{name}: no timing samples; falling back to uniform 0.5 prior"
+            )
+            return ProcedureEstimate(
+                procedure=name,
+                theta=theta,
+                n_samples=0,
+                method="prior",
+                fit_cost=float("nan"),
+                predicted_moments=model.moments(theta).as_tuple(),
+                observed_moments=None,
+                warnings=tuple(warnings),
+            )
+
+        if opts.check_identifiability:
+            report = analyze_identifiability(model, moments_used=opts.moments_used)
+            warnings.extend(report.warnings)
+
+        durations = dataset.durations(name)
+        timer = self.platform.timer
+
+        moment_fit = fit_moments(
+            model,
+            durations,
+            timer=timer,
+            moments_used=opts.moments_used,
+            prior_weight=opts.prior_weight,
+            restarts=opts.restarts,
+            rng=gen,
+        )
+        if opts.method == "moments":
+            return ProcedureEstimate(
+                procedure=name,
+                theta=moment_fit.theta,
+                n_samples=moment_fit.n_samples,
+                method="moments",
+                fit_cost=moment_fit.cost,
+                predicted_moments=moment_fit.predicted_moments,
+                observed_moments=moment_fit.observed_moments,
+                warnings=tuple(warnings),
+            )
+
+        em = EMEstimator(
+            model,
+            timer=timer,
+            max_iterations=opts.em_max_iterations,
+            tolerance=opts.em_tolerance,
+            min_prob=opts.em_min_prob,
+            max_paths=opts.em_max_paths,
+        )
+        # EM's likelihood surface is multimodal; "hybrid" races an EM run
+        # started from the moments fit against one from the uniform prior and
+        # keeps the higher-likelihood solution.
+        starts = [None]
+        if opts.method == "hybrid":
+            starts.append(moment_fit.theta)
+        em_result = None
+        for theta0 in starts:
+            candidate = em.fit(durations, theta0=theta0)
+            if em_result is None or candidate.log_likelihood > em_result.log_likelihood:
+                em_result = candidate
+        assert em_result is not None
+        if not em_result.converged:
+            warnings.append(
+                f"{name}: EM did not converge within {opts.em_max_iterations} iterations"
+            )
+        if em_result.dropped_observations:
+            warnings.append(
+                f"{name}: EM dropped {em_result.dropped_observations} observation(s) "
+                f"incompatible with the enumerated path family"
+            )
+        return ProcedureEstimate(
+            procedure=name,
+            theta=em_result.theta,
+            n_samples=em_result.n_samples,
+            method=opts.method,
+            fit_cost=-em_result.log_likelihood,
+            predicted_moments=model.moments(em_result.theta).as_tuple(),
+            observed_moments=moment_fit.observed_moments,
+            warnings=tuple(warnings),
+        )

@@ -1,0 +1,184 @@
+"""Moment-matching estimation of branch probabilities.
+
+The forward model predicts the mean, variance and third central moment of a
+procedure's execution time as smooth functions of the branch-probability
+vector ``theta``.  The estimator solves the inverse problem as bounded
+nonlinear least squares:
+
+    minimize  || W . (predicted_moments(theta) - observed_moments) ||^2
+              + prior_weight * || theta - 0.5 ||^2
+
+* **Weights** are inverse standard errors of the empirical moments, so a
+  moment estimated from few samples cannot dominate the fit.
+* **Noise correction**: timer quantization and jitter inflate the observed
+  variance by a known amount (:func:`measurement_noise_variance`), which is
+  subtracted before fitting; their effect on mean and skew is ~zero.
+* **Multi-start**: the residual surface of chains with loops is multimodal,
+  so the solver restarts from scattered initial points and keeps the best.
+* **Prior**: a weak pull toward 0.5 regularizes directions the moments do
+  not constrain (see :mod:`repro.core.identifiability`), instead of letting
+  them wander to a bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.errors import EstimationError
+from repro.mote.timer import TimestampTimer
+from repro.sim.timing import ProcedureTimingModel
+from repro.util.rng import RngSource, as_rng
+
+__all__ = ["MomentFitResult", "fit_moments", "measurement_noise_variance"]
+
+_THETA_EPS = 1e-4
+
+
+def measurement_noise_variance(timer: TimestampTimer) -> float:
+    """Variance the timer adds to one duration measurement, in cycles².
+
+    A duration is the difference of two quantized timestamps: each carries
+    uniform quantization error (variance ``cpt² / 12``), so the difference
+    carries ``cpt² / 6``; independent Gaussian jitter at both ends adds
+    ``2 σ_j²``.
+    """
+    cpt = timer.cycles_per_tick
+    return cpt * cpt / 6.0 + 2.0 * timer.jitter_cycles**2
+
+
+@dataclass(frozen=True)
+class MomentFitResult:
+    """Outcome of one moment-matching fit."""
+
+    theta: np.ndarray
+    cost: float
+    observed_moments: tuple[float, float, float]
+    predicted_moments: tuple[float, float, float]
+    n_samples: int
+    restarts_used: int
+
+    @property
+    def moment_residuals(self) -> tuple[float, float, float]:
+        """Predicted minus observed, per moment."""
+        return tuple(p - o for p, o in zip(self.predicted_moments, self.observed_moments))
+
+
+def _moment_scales(
+    mean: float, variance: float, n_samples: int, moments_used: int
+) -> np.ndarray:
+    """Approximate standard errors of the empirical moments.
+
+    Normal-theory approximations: SE(mean) = sqrt(var/n), SE(var) =
+    var·sqrt(2/n), SE(mu3) ≈ sqrt(6)·var^{3/2}·sqrt(6/n) (loose but the
+    right order).  Floored to keep the weighting finite on degenerate data.
+    """
+    n = max(n_samples, 1)
+    std = np.sqrt(max(variance, 0.0))
+    se_mean = std / np.sqrt(n)
+    se_var = max(variance, 1.0) * np.sqrt(2.0 / n)
+    se_mu3 = max(std, 1.0) ** 3 * np.sqrt(6.0 / n) * 2.5
+    scales = np.array([se_mean, se_var, se_mu3])[:moments_used]
+    return np.maximum(scales, 1e-9)
+
+
+def fit_moments(
+    model: ProcedureTimingModel,
+    durations: Sequence[float],
+    timer: Optional[TimestampTimer] = None,
+    moments_used: int = 3,
+    prior_weight: float = 1e-3,
+    restarts: int = 8,
+    rng: RngSource = None,
+) -> MomentFitResult:
+    """Estimate ``theta`` from measured end-to-end ``durations``.
+
+    Parameters
+    ----------
+    model:
+        The procedure's analytic timing model (layout-aware, callee moments
+        already folded in).
+    durations:
+        Measured durations in cycles, as produced by the timing profiler.
+    timer:
+        When given, its quantization/jitter variance is subtracted from the
+        observed variance before matching.
+    moments_used:
+        1 = mean only, 2 = +variance, 3 = +third central moment.  The
+        ablation (T3) sweeps this.
+    """
+    xs = np.asarray(durations, dtype=float)
+    if xs.size == 0:
+        raise EstimationError("fit_moments needs at least one duration sample")
+    if not 1 <= moments_used <= 3:
+        raise EstimationError(f"moments_used must be 1, 2 or 3, got {moments_used}")
+    if restarts < 1:
+        raise EstimationError(f"restarts must be >= 1, got {restarts}")
+
+    k = model.n_parameters
+    mean = float(xs.mean())
+    centered = xs - mean
+    variance = float(np.mean(centered**2))
+    mu3 = float(np.mean(centered**3))
+    if timer is not None:
+        variance = max(variance - measurement_noise_variance(timer), 0.0)
+    observed = np.array([mean, variance, mu3])
+
+    if k == 0:
+        predicted = model.moments(np.empty(0)).as_tuple()
+        return MomentFitResult(
+            theta=np.empty(0),
+            cost=0.0,
+            observed_moments=(mean, variance, mu3),
+            predicted_moments=predicted,
+            n_samples=int(xs.size),
+            restarts_used=0,
+        )
+
+    scales = _moment_scales(mean, variance, int(xs.size), moments_used)
+    target = observed[:moments_used]
+    sqrt_prior = np.sqrt(max(prior_weight, 0.0))
+
+    def residuals(theta: np.ndarray) -> np.ndarray:
+        m = model.moments(theta)
+        pred = np.array(m.as_tuple())[:moments_used]
+        data_part = (pred - target) / scales
+        prior_part = sqrt_prior * (theta - 0.5)
+        return np.concatenate([data_part, prior_part])
+
+    gen = as_rng(rng)
+    starts = [np.full(k, 0.5)]
+    for _ in range(restarts - 1):
+        starts.append(gen.uniform(0.15, 0.85, size=k))
+
+    best = None
+    for x0 in starts:
+        try:
+            sol = least_squares(
+                residuals,
+                x0,
+                bounds=(_THETA_EPS, 1.0 - _THETA_EPS),
+                xtol=1e-12,
+                ftol=1e-12,
+                gtol=1e-12,
+                max_nfev=400,
+            )
+        except Exception as exc:  # pragma: no cover - scipy internal failure
+            raise EstimationError(f"least-squares solver failed: {exc}") from exc
+        if best is None or sol.cost < best.cost:
+            best = sol
+
+    assert best is not None
+    theta_hat = np.clip(best.x, 0.0, 1.0)
+    predicted = model.moments(theta_hat).as_tuple()
+    return MomentFitResult(
+        theta=theta_hat,
+        cost=float(best.cost),
+        observed_moments=(mean, variance, mu3),
+        predicted_moments=predicted,
+        n_samples=int(xs.size),
+        restarts_used=len(starts),
+    )

@@ -1,0 +1,63 @@
+"""Human-readable reports of an estimation run.
+
+The CLI-facing end of the pipeline: given a program and an
+:class:`~repro.core.estimator.EstimationResult` (and optionally the
+instrumented ground truth for validation runs), render the per-branch story
+a developer acts on — estimates, sample counts, fit quality, warnings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimator import EstimationResult
+from repro.ir.program import Program
+from repro.markov.builders import BranchParameterization
+from repro.util.tables import Table
+
+__all__ = ["estimation_report", "render_estimation_report"]
+
+
+def estimation_report(
+    program: Program,
+    result: EstimationResult,
+    truth: Optional[Mapping[str, Sequence[float]]] = None,
+) -> Table:
+    """One row per branch: location, estimate, and (optionally) truth."""
+    columns = ["procedure", "branch", "theta_hat", "n_samples", "method"]
+    if truth is not None:
+        columns += ["theta_true", "abs_err"]
+    table = Table("Code Tomography estimation report", columns)
+    for proc in program:
+        par = BranchParameterization(proc.cfg)
+        if par.n_parameters == 0:
+            continue
+        estimate = result.estimate_for(proc.name)
+        for k, label in enumerate(par.branch_labels):
+            row = [
+                proc.name,
+                label,
+                float(estimate.theta[k]),
+                estimate.n_samples,
+                estimate.method,
+            ]
+            if truth is not None:
+                true_k = float(np.asarray(truth[proc.name], dtype=float)[k])
+                row += [true_k, abs(float(estimate.theta[k]) - true_k)]
+            table.add_row(*row)
+    return table
+
+
+def render_estimation_report(
+    program: Program,
+    result: EstimationResult,
+    truth: Optional[Mapping[str, Sequence[float]]] = None,
+) -> str:
+    """The table plus any warnings, terminal-ready."""
+    parts = [estimation_report(program, result, truth).render()]
+    if result.warnings:
+        parts.append("warnings:")
+        parts.extend(f"  - {w}" for w in result.warnings)
+    return "\n".join(parts)

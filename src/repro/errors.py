@@ -1,0 +1,107 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API boundary.
+Subsystem-specific bases (:class:`IRError`, :class:`LangError`, ...) let
+callers be more selective without importing deep modules.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IRError",
+    "CFGValidationError",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "MarkovError",
+    "NotAbsorbingError",
+    "MoteError",
+    "SimulationError",
+    "ProfilingError",
+    "EstimationError",
+    "IdentifiabilityError",
+    "PlacementError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IRError(ReproError):
+    """Errors from the program IR layer (:mod:`repro.ir`)."""
+
+
+class CFGValidationError(IRError):
+    """A control-flow graph violates a structural invariant."""
+
+
+class LangError(ReproError):
+    """Errors from the DSL front end (:mod:`repro.lang`)."""
+
+
+class LexError(LangError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """The parser met an unexpected token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(LangError):
+    """The program is syntactically valid but semantically ill-formed."""
+
+
+class MarkovError(ReproError):
+    """Errors from the Markov-chain substrate (:mod:`repro.markov`)."""
+
+
+class NotAbsorbingError(MarkovError):
+    """A chain expected to be absorbing has unreachable absorption."""
+
+
+class MoteError(ReproError):
+    """Errors from the mote hardware model (:mod:`repro.mote`)."""
+
+
+class SimulationError(ReproError):
+    """Errors from the execution engine (:mod:`repro.sim`)."""
+
+
+class ProfilingError(ReproError):
+    """Errors from the profiling layer (:mod:`repro.profiling`)."""
+
+
+class EstimationError(ReproError):
+    """Errors from the Code Tomography estimators (:mod:`repro.core`)."""
+
+
+class IdentifiabilityError(EstimationError):
+    """The requested estimation problem is structurally under-determined."""
+
+
+class PlacementError(ReproError):
+    """Errors from the code-placement optimizer (:mod:`repro.placement`)."""
+
+
+class WorkloadError(ReproError):
+    """Errors from workload construction (:mod:`repro.workloads`)."""
+
+
+class ExperimentError(ReproError):
+    """Errors from the experiment harness (:mod:`repro.experiments`)."""

@@ -1,0 +1,119 @@
+"""Shared plumbing for the experiment modules.
+
+Centralizes the one pipeline every experiment repeats — run a workload on a
+platform, collect the degraded timing dataset, compute the empirical ground
+truth, estimate — so experiment modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core import CodeTomography, EstimationOptions
+from repro.ir.program import Program
+from repro.mote.platform import MICAZ_LIKE, Platform
+from repro.placement.layout import ProgramLayout
+from repro.profiling import TimingDataset, TimingProfiler
+from repro.sim import RunResult, run_program
+from repro.util.tables import Table
+from repro.workloads.registry import WorkloadSpec
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ProfiledRun",
+    "profiled_run",
+    "tomography_thetas",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared across experiments.
+
+    ``quick`` shrinks sample counts ~10x so tests can exercise every
+    experiment end to end; benchmark and CLI runs use the full sizes.
+    """
+
+    platform: Platform = MICAZ_LIKE
+    activations: int = 3000
+    seed: int = 2015  # the venue year; any fixed value works
+    quick: bool = False
+    scenario: str = "default"
+
+    @property
+    def effective_activations(self) -> int:
+        """Activation count after the quick-mode reduction."""
+        return max(self.activations // 10, 100) if self.quick else self.activations
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment hands back: identity, tables, raw series."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    series: dict[str, list] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """All tables plus notes, terminal-ready."""
+        parts = [f"== {self.experiment_id.upper()}: {self.title} =="]
+        parts.extend(t.render() for t in self.tables)
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n\n".join(parts)
+
+
+@dataclass
+class ProfiledRun:
+    """One workload executed once, with everything later stages need."""
+
+    spec: WorkloadSpec
+    program: Program
+    result: RunResult
+    dataset: TimingDataset
+    truth: dict[str, np.ndarray]
+
+
+def profiled_run(
+    spec: WorkloadSpec,
+    config: ExperimentConfig,
+    layout: Optional[ProgramLayout] = None,
+    seed_offset: int = 0,
+) -> ProfiledRun:
+    """Run one workload and collect its timing dataset + ground truth."""
+    program = spec.program()
+    sensors = spec.sensors(scenario=config.scenario, rng=config.seed + seed_offset)
+    result = run_program(
+        program,
+        config.platform,
+        sensors,
+        activations=config.effective_activations,
+        layout=layout,
+    )
+    profiler = TimingProfiler(config.platform, rng=config.seed + seed_offset + 1)
+    dataset = profiler.collect(result.records)
+    truth = {
+        proc.name: result.counters.true_branch_probabilities(proc) for proc in program
+    }
+    return ProfiledRun(
+        spec=spec, program=program, result=result, dataset=dataset, truth=truth
+    )
+
+
+def tomography_thetas(
+    run: ProfiledRun,
+    config: ExperimentConfig,
+    method: str = "hybrid",
+    options: Optional[EstimationOptions] = None,
+) -> dict[str, np.ndarray]:
+    """Estimate every procedure's branch probabilities from the run."""
+    opts = options or EstimationOptions(method=method, seed=config.seed)
+    if options is not None and options.method != method:
+        opts = replace(options, method=method)
+    tomo = CodeTomography(run.program, config.platform)
+    return tomo.estimate(run.dataset, opts).thetas

@@ -1,0 +1,67 @@
+"""F1 — Branch-probability estimation accuracy per workload.
+
+The headline accuracy figure: how close the tomography estimate gets to the
+instrumented ground truth on every benchmark, with the PC-sampling profiler
+as the conventional lightweight alternative.  Reported as per-branch pooled
+MAE (and worst branch), one bar group per workload.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import program_estimation_error
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    profiled_run,
+    tomography_thetas,
+)
+from repro.profiling import SamplingProfiler
+from repro.util.tables import Table
+from repro.workloads.registry import all_workloads
+
+__all__ = ["run", "SAMPLING_INTERVAL_CYCLES"]
+
+SAMPLING_INTERVAL_CYCLES = 4096
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Estimate every workload with tomography and PC sampling; score both."""
+    table = Table(
+        "F1: branch-probability estimation error (per-branch pooled)",
+        ["workload", "estimator", "mae", "max_err"],
+        digits=4,
+    )
+    series: dict[str, list] = {"workload": [], "estimator": [], "mae": []}
+    for spec in all_workloads():
+        run_data = profiled_run(spec, config)
+        tomo = tomography_thetas(run_data, config, method="hybrid")
+        sampler = SamplingProfiler(
+            run_data.program,
+            config.platform,
+            interval_cycles=SAMPLING_INTERVAL_CYCLES,
+            rng=config.seed + 17,
+        )
+        sampled = sampler.collect(run_data.result.counters, run_data.result.total_cycles)
+        for estimator, thetas in (
+            ("code-tomography", tomo),
+            ("pc-sampling", sampled.thetas),
+        ):
+            mae = program_estimation_error(thetas, run_data.truth, "mae")
+            worst = program_estimation_error(thetas, run_data.truth, "max")
+            table.add_row(spec.name, estimator, mae, worst)
+            series["workload"].append(spec.name)
+            series["estimator"].append(estimator)
+            series["mae"].append(mae)
+    return ExperimentResult(
+        experiment_id="f1",
+        title="estimation accuracy per workload",
+        tables=[table],
+        series=series,
+        notes=[
+            "Shape check: tomography MAE beats PC sampling on the suite "
+            "aggregate and stays well under 0.10 wherever branches are "
+            "timing-visible; branches with near-equal-cost arms are "
+            "structurally invisible to any timing-based method (flagged by "
+            "repro.core.identifiability, discussed in EXPERIMENTS.md)."
+        ],
+    )

@@ -1,0 +1,84 @@
+"""F6 — Robustness to input-model mismatch.
+
+The Markov execution model assumes branch outcomes behave like fixed
+probabilities.  Real sensor inputs are correlated, bursty, and drifting —
+this figure runs the same workloads under those regimes and reports both the
+estimation error and whether tomography-guided placement still helps (the
+end-to-end quantity a user cares about).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import program_estimation_error
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    profiled_run,
+    tomography_thetas,
+)
+from repro.placement import optimize_program_layout
+from repro.sim import run_program
+from repro.util.tables import Table
+from repro.workloads.registry import workload_by_name
+
+__all__ = ["run", "SCENARIOS", "WORKLOADS"]
+
+SCENARIOS = ("default", "bursty", "drifting", "correlated")
+WORKLOADS = ("sense", "event-detect")
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Estimation error and placement benefit under each input regime."""
+    table = Table(
+        "F6: robustness to input-model mismatch",
+        ["workload", "scenario", "mae", "mispredict_source", "mispredict_tomo"],
+        digits=4,
+    )
+    series: dict[str, list] = {
+        "workload": [],
+        "scenario": [],
+        "mae": [],
+        "improvement": [],
+    }
+    for name in WORKLOADS:
+        spec = workload_by_name(name)
+        for scenario in SCENARIOS:
+            scenario_config = ExperimentConfig(
+                platform=config.platform,
+                activations=config.activations,
+                seed=config.seed,
+                quick=config.quick,
+                scenario=scenario,
+            )
+            run_data = profiled_run(spec, scenario_config)
+            thetas = tomography_thetas(run_data, scenario_config)
+            mae = program_estimation_error(thetas, run_data.truth, "mae")
+
+            layout = optimize_program_layout(run_data.program, thetas)
+            rates = {}
+            for label, lay in (("source", None), ("tomo", layout)):
+                sensors = spec.sensors(scenario=scenario, rng=config.seed + 1000)
+                result = run_program(
+                    run_data.program,
+                    scenario_config.platform,
+                    sensors,
+                    activations=scenario_config.effective_activations,
+                    layout=lay,
+                )
+                rates[label] = result.counters.mispredict_rate
+            table.add_row(name, scenario, mae, rates["source"], rates["tomo"])
+            series["workload"].append(name)
+            series["scenario"].append(scenario)
+            series["mae"].append(mae)
+            series["improvement"].append(rates["source"] - rates["tomo"])
+    return ExperimentResult(
+        experiment_id="f6",
+        title="robustness to input mismatch",
+        tables=[table],
+        series=series,
+        notes=[
+            "Shape check: error grows under correlated/bursty inputs but the "
+            "placement guided by the (time-averaged) estimate still reduces "
+            "mispredictions versus source order."
+        ],
+    )

@@ -1,0 +1,98 @@
+"""CLI for the experiment suite (installed as ``repro-experiments``).
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments t1 f1 f4
+    repro-experiments --all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentConfig
+from repro.mote.platform import MICAZ_LIKE, TELOSB_LIKE
+
+__all__ = ["main"]
+
+_PLATFORMS = {"micaz": MICAZ_LIKE, "telosb": TELOSB_LIKE}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run the Code Tomography reproduction's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (known: {', '.join(sorted(ALL_EXPERIMENTS))})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink sample counts ~10x for a fast pass"
+    )
+    parser.add_argument(
+        "--platform",
+        choices=sorted(_PLATFORMS),
+        default="micaz",
+        help="mote platform preset (default: micaz)",
+    )
+    parser.add_argument("--seed", type=int, default=2015, help="experiment RNG seed")
+    parser.add_argument(
+        "--activations", type=int, default=3000, help="profiling activations per run"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for exp_id in sorted(ALL_EXPERIMENTS):
+            print(exp_id)
+        return 0
+
+    ids = sorted(ALL_EXPERIMENTS) if args.all else list(args.experiments)
+    if not ids:
+        print("nothing to run; pass experiment ids, --all, or --list", file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(ALL_EXPERIMENTS))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = ExperimentConfig(
+        platform=_PLATFORMS[args.platform],
+        activations=args.activations,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    for exp_id in ids:
+        started = time.perf_counter()
+        try:
+            result = ALL_EXPERIMENTS[exp_id](config)
+        except ExperimentError as exc:
+            print(f"{exp_id}: failed: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{exp_id} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

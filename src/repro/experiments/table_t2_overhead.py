@@ -1,0 +1,72 @@
+"""T2 — Profiling overhead: full instrumentation vs sampling vs tomography.
+
+The paper's motivation table: what each profiling approach costs on the
+mote.  The qualitative shape to reproduce: edge instrumentation pays per
+static edge (RAM/ROM) and per dynamic edge (runtime); the tomography
+collector pays per procedure and per invocation — far less on branchy code.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, profiled_run
+from repro.profiling import (
+    edge_instrumentation_overhead,
+    sampling_overhead,
+    timing_overhead,
+)
+from repro.util.tables import Table
+from repro.workloads.registry import all_workloads
+
+__all__ = ["run", "SAMPLING_INTERVAL_CYCLES"]
+
+SAMPLING_INTERVAL_CYCLES = 4096
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Price all three schemes on every workload's reference run."""
+    table = Table(
+        "T2: profiling overhead per workload",
+        ["workload", "scheme", "rom_B", "ram_B", "runtime_%", "packets", "energy_mJ"],
+        digits=3,
+    )
+    series: dict[str, list] = {
+        "workload": [],
+        "scheme": [],
+        "runtime_pct": [],
+        "ram_bytes": [],
+    }
+    for spec in all_workloads():
+        run_data = profiled_run(spec, config)
+        base_cycles = run_data.result.total_cycles
+        reports = [
+            edge_instrumentation_overhead(run_data.program, run_data.result, config.platform),
+            sampling_overhead(
+                run_data.program, run_data.result, config.platform, SAMPLING_INTERVAL_CYCLES
+            ),
+            timing_overhead(run_data.program, run_data.result, config.platform),
+        ]
+        for report in reports:
+            pct = 100.0 * report.runtime_overhead_fraction(base_cycles)
+            table.add_row(
+                spec.name,
+                report.scheme,
+                report.rom_bytes,
+                report.ram_bytes,
+                pct,
+                report.upload_packets,
+                report.energy_mj,
+            )
+            series["workload"].append(spec.name)
+            series["scheme"].append(report.scheme)
+            series["runtime_pct"].append(pct)
+            series["ram_bytes"].append(report.ram_bytes)
+    return ExperimentResult(
+        experiment_id="t2",
+        title="profiling overhead",
+        tables=[table],
+        series=series,
+        notes=[
+            "Shape check: code-tomography runtime and RAM overhead must be well "
+            "below edge-instrumentation on every workload."
+        ],
+    )

@@ -1,0 +1,135 @@
+"""Fluent construction of CFGs for tests, workloads and generators.
+
+:class:`CFGBuilder` removes the boilerplate of wiring blocks by hand:
+it tracks a *current* block, auto-generates labels, and closes blocks with
+jumps/branches/returns.  Both the synthetic-CFG generator and the hand-built
+workload fixtures use it; the language front end lowers through it too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    Branch,
+    Instruction,
+    Jump,
+    Return,
+)
+from repro.ir.procedure import Procedure
+
+__all__ = ["CFGBuilder"]
+
+
+class CFGBuilder:
+    """Incrementally build one procedure's CFG.
+
+    Typical use::
+
+        b = CFGBuilder("sample")
+        b.emit(sense("v", "adc0"))
+        b.emit(binop(BinaryOp.GT, "hot", "v", "limit"))
+        then_blk, else_blk, join = b.branch("hot")
+        ...
+    """
+
+    def __init__(self, proc_name: str, entry_label: str = "entry") -> None:
+        self.proc_name = proc_name
+        self.cfg = CFG(entry_label)
+        self._counter = 0
+        self.current: Optional[BasicBlock] = self.cfg.new_block(entry_label)
+
+    # -- labels and blocks -------------------------------------------------
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        """A label unused so far in this CFG."""
+        while True:
+            self._counter += 1
+            label = f"{hint}{self._counter}"
+            if label not in self.cfg:
+                return label
+
+    def block(self, label: Optional[str] = None, hint: str = "bb") -> BasicBlock:
+        """Create a new block and make it current."""
+        blk = self.cfg.new_block(label if label is not None else self.fresh_label(hint))
+        self.current = blk
+        return blk
+
+    def switch_to(self, block: BasicBlock) -> None:
+        """Resume emitting into an existing open block."""
+        if block.label not in self.cfg:
+            raise IRError(f"block {block.label!r} does not belong to this CFG")
+        self.current = block
+
+    def _require_current(self) -> BasicBlock:
+        if self.current is None:
+            raise IRError("no current block; call block() or switch_to() first")
+        return self.current
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, *instructions: Instruction) -> None:
+        """Append instructions to the current block."""
+        blk = self._require_current()
+        for instr in instructions:
+            blk.append(instr)
+
+    def jump(self, target: str) -> None:
+        """Close the current block with an unconditional jump."""
+        self._require_current().close(Jump(target))
+        self.current = None
+
+    def branch(
+        self,
+        cond: str,
+        then_label: Optional[str] = None,
+        else_label: Optional[str] = None,
+    ) -> tuple[BasicBlock, BasicBlock]:
+        """Close the current block with a conditional branch.
+
+        Creates (or reuses, if labels are given for existing blocks) the two
+        successor blocks and returns ``(then_block, else_block)``.  Leaves
+        the *then* block current.
+        """
+        then_label = then_label or self.fresh_label("then")
+        else_label = else_label or self.fresh_label("else")
+        self._require_current().close(Branch(cond, then_label, else_label))
+        then_blk = (
+            self.cfg.block(then_label) if then_label in self.cfg else self.cfg.new_block(then_label)
+        )
+        else_blk = (
+            self.cfg.block(else_label) if else_label in self.cfg else self.cfg.new_block(else_label)
+        )
+        self.current = then_blk
+        return then_blk, else_blk
+
+    def ret(self, value: Optional[str] = None) -> None:
+        """Close the current block with a return."""
+        self._require_current().close(Return(value))
+        self.current = None
+
+    # -- finish ------------------------------------------------------------
+
+    def build(
+        self,
+        params: Sequence[str] = (),
+        arrays: Optional[dict[str, int]] = None,
+        returns_value: bool = False,
+    ) -> Procedure:
+        """Produce the finished :class:`Procedure`.
+
+        Raises if any block is still open — a builder bug in the caller.
+        """
+        open_blocks = [b.label for b in self.cfg if not b.is_closed]
+        if open_blocks:
+            raise IRError(f"unterminated blocks in {self.proc_name!r}: {open_blocks}")
+        return Procedure(
+            name=self.proc_name,
+            cfg=self.cfg,
+            params=tuple(params),
+            arrays=dict(arrays or {}),
+            returns_value=returns_value,
+        )

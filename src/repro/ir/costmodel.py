@@ -1,0 +1,103 @@
+"""Per-instruction cycle costs for AVR/MSP430-class mote MCUs.
+
+Block cost = sum of instruction costs, computed once at "compile" time.
+The numbers follow the flavor of the ATmega128 (MicaZ) datasheet: single-cycle
+ALU, 2-cycle RAM access, hardware multiply, *software* divide, slow ADC reads,
+and an expensive radio send.  Exact magnitudes are configurable per
+:class:`repro.mote.platform.Platform`; what the estimation math relies on is
+only that block costs are deterministic and known.
+
+Control-transfer cost (jump/branch taken/not-taken/call/return) is priced
+separately by the CPU model, because it depends on the code layout and the
+static prediction scheme — that dependence is the entire point of the
+placement optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import BinaryOp, Instruction, Opcode
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+_DEFAULT_OPCODE_CYCLES: dict[Opcode, int] = {
+    Opcode.CONST: 1,
+    Opcode.MOV: 1,
+    Opcode.UNOP: 1,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 2,
+    Opcode.SENSE: 40,  # ADC conversion + driver glue
+    Opcode.SEND: 160,  # radio FIFO write + strobe (CC2420-style)
+    Opcode.LED: 1,
+    Opcode.NOP: 1,
+    Opcode.HALT: 1,
+}
+
+_DEFAULT_BINOP_CYCLES: dict[BinaryOp, int] = {
+    BinaryOp.ADD: 1,
+    BinaryOp.SUB: 1,
+    BinaryOp.MUL: 2,  # hardware 8x8 multiplier
+    BinaryOp.DIV: 38,  # software routine
+    BinaryOp.MOD: 40,  # software routine
+    BinaryOp.AND: 1,
+    BinaryOp.OR: 1,
+    BinaryOp.XOR: 1,
+    BinaryOp.SHL: 1,
+    BinaryOp.SHR: 1,
+    BinaryOp.LT: 1,
+    BinaryOp.LE: 1,
+    BinaryOp.GT: 1,
+    BinaryOp.GE: 1,
+    BinaryOp.EQ: 1,
+    BinaryOp.NE: 1,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic cycle costs for straight-line instructions.
+
+    ``call_overhead`` covers argument marshalling + rcall; ``return_overhead``
+    the ret + register restore.  Callee *body* time is not included here —
+    the timing model folds it in from the callee's own distribution.
+    """
+
+    opcode_cycles: Mapping[Opcode, int] = field(
+        default_factory=lambda: dict(_DEFAULT_OPCODE_CYCLES)
+    )
+    binop_cycles: Mapping[BinaryOp, int] = field(
+        default_factory=lambda: dict(_DEFAULT_BINOP_CYCLES)
+    )
+    call_overhead: int = 8
+    return_overhead: int = 6
+
+    def instruction_cycles(self, instr: Instruction) -> int:
+        """Cycle cost of one instruction (calls: overhead only)."""
+        if instr.opcode is Opcode.BINOP:
+            assert isinstance(instr.imm, BinaryOp)
+            return self.binop_cycles[instr.imm]
+        if instr.opcode is Opcode.CALL:
+            return self.call_overhead
+        return self.opcode_cycles[instr.opcode]
+
+    def block_cycles(self, block: BasicBlock) -> int:
+        """Straight-line cost of a block, excluding its terminator."""
+        return sum(self.instruction_cycles(instr) for instr in block.instructions)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A cost model with every cost multiplied by ``factor`` (≥ 1 each)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            opcode_cycles={k: max(1, round(v * factor)) for k, v in self.opcode_cycles.items()},
+            binop_cycles={k: max(1, round(v * factor)) for k, v in self.binop_cycles.items()},
+            call_overhead=max(1, round(self.call_overhead * factor)),
+            return_overhead=max(1, round(self.return_overhead * factor)),
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,41 @@
+"""Graphviz DOT export of CFGs, for debugging and documentation figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.ir.cfg import CFG
+
+__all__ = ["cfg_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\l") + "\\l"
+
+
+def cfg_to_dot(
+    cfg: CFG,
+    name: str = "cfg",
+    edge_labels: Optional[Mapping[tuple[str, str], str]] = None,
+) -> str:
+    """Render ``cfg`` as a DOT digraph.
+
+    ``edge_labels`` optionally annotates edges keyed by ``(src, kind)`` —
+    the experiments use this to display estimated branch probabilities on
+    the arms of each conditional.
+    """
+    lines = [f'digraph "{name}" {{', "  node [shape=box, fontname=monospace];"]
+    for block in cfg:
+        shape_attr = ', peripheries=2' if block.label == cfg.entry else ""
+        lines.append(f'  "{block.label}" [label="{_escape(block.pretty())}"{shape_attr}];')
+    for edge in cfg.edges():
+        attrs = [f'label="{edge.kind}"']
+        if edge_labels and (edge.src, edge.kind) in edge_labels:
+            attrs = [f'label="{edge.kind}: {edge_labels[(edge.src, edge.kind)]}"']
+        if edge.kind == "then":
+            attrs.append("color=darkgreen")
+        elif edge.kind == "else":
+            attrs.append("color=firebrick")
+        lines.append(f'  "{edge.src}" -> "{edge.dst}" [{", ".join(attrs)}];')
+    lines.append("}")
+    return "\n".join(lines)

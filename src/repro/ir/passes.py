@@ -1,0 +1,283 @@
+"""IR cleanup passes: the compiler half of the feedback loop.
+
+The placement optimizer is only one pass of the "compiler" the paper feeds
+profiles back into; these are the standard cleanups that run before it so
+the CFG the profile describes is the CFG that ships:
+
+* :func:`fold_constants` — block-local constant folding and copy
+  propagation (no cross-block dataflow, keeping the pass trivially sound);
+* :func:`simplify_branches` — conditional branches whose condition is a
+  block-local constant become unconditional jumps (and same-target branches
+  collapse);
+* :func:`thread_jumps` — edges through empty forwarding blocks
+  (no instructions, unconditional jump) are redirected to the final target;
+* :func:`remove_unreachable_blocks` — drops blocks no longer reachable.
+
+:func:`simplify_procedure` runs everything to a fixpoint.  All passes
+preserve observable behaviour (values computed, sends, LED writes, sensor
+read order) while never *increasing* any block's cost — properties the test
+suite checks by differential execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Instruction,
+    Jump,
+    Opcode,
+    Return,
+    UnaryOp,
+    const,
+)
+from repro.ir.procedure import Procedure
+from repro.ir.program import Program
+
+__all__ = [
+    "fold_constants",
+    "simplify_branches",
+    "thread_jumps",
+    "remove_unreachable_blocks",
+    "simplify_procedure",
+    "simplify_program",
+]
+
+_INT_MIN, _INT_MAX = -(1 << 15), (1 << 15) - 1
+
+
+def _wrap16(value: int) -> int:
+    return ((value + (1 << 15)) & 0xFFFF) - (1 << 15)
+
+
+def _eval_binop(op: BinaryOp, a: int, b: int) -> Optional[int]:
+    """Constant-evaluate a binary op; None when it must be left alone."""
+    if op is BinaryOp.ADD:
+        return a + b
+    if op is BinaryOp.SUB:
+        return a - b
+    if op is BinaryOp.MUL:
+        return a * b
+    if op is BinaryOp.DIV:
+        if b == 0:
+            return None  # preserve the runtime trap
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if op is BinaryOp.MOD:
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return a - b * q
+    if op is BinaryOp.AND:
+        return a & b
+    if op is BinaryOp.OR:
+        return a | b
+    if op is BinaryOp.XOR:
+        return a ^ b
+    if op is BinaryOp.SHL:
+        return a << (b & 15)
+    if op is BinaryOp.SHR:
+        return a >> (b & 15)
+    if op is BinaryOp.LT:
+        return int(a < b)
+    if op is BinaryOp.LE:
+        return int(a <= b)
+    if op is BinaryOp.GT:
+        return int(a > b)
+    if op is BinaryOp.GE:
+        return int(a >= b)
+    if op is BinaryOp.EQ:
+        return int(a == b)
+    if op is BinaryOp.NE:
+        return int(a != b)
+    return None  # pragma: no cover - exhaustive
+
+
+def fold_constants(procedure: Procedure) -> int:
+    """Block-local constant folding + copy propagation; returns #rewrites.
+
+    Tracks, within each block, which registers currently hold a known
+    constant or are pure copies of another register, and rewrites
+    instructions accordingly.  Any instruction with side effects or unknown
+    inputs simply invalidates its destination.  Temps (``%``-prefixed) are
+    block-local by construction; named variables are conservatively dropped
+    from the copy table at calls (the callee cannot touch caller locals, but
+    globals may alias — constants on globals are invalidated too).
+    """
+    rewrites = 0
+    for block in procedure.cfg:
+        constants: dict[str, int] = {}
+        copies: dict[str, str] = {}
+        new_instrs: list[Instruction] = []
+
+        def resolve(reg: str) -> str:
+            seen = set()
+            while reg in copies and reg not in seen:
+                seen.add(reg)
+                reg = copies[reg]
+            return reg
+
+        for instr in block.instructions:
+            instr = _substitute_sources(instr, resolve)
+            folded = _fold_one(instr, constants)
+            if folded is not None:
+                instr = folded
+                rewrites += 1
+            # Update the local knowledge tables.
+            dst = instr.dst
+            if instr.opcode is Opcode.CALL:
+                # Calls may write any global; drop global knowledge.
+                constants = {k: v for k, v in constants.items() if k.startswith("%")}
+                copies = {k: v for k, v in copies.items() if k.startswith("%")}
+            if dst is not None:
+                constants.pop(dst, None)
+                copies.pop(dst, None)
+                # Anything copying from dst is now stale.
+                copies = {k: v for k, v in copies.items() if v != dst}
+                if instr.opcode is Opcode.CONST:
+                    constants[dst] = int(instr.imm)  # type: ignore[arg-type]
+                elif instr.opcode is Opcode.MOV:
+                    src = instr.srcs[0]
+                    if src in constants:
+                        constants[dst] = constants[src]
+                    else:
+                        copies[dst] = src
+            new_instrs.append(instr)
+        block.instructions[:] = new_instrs
+    return rewrites
+
+
+def _substitute_sources(instr: Instruction, resolve) -> Instruction:
+    """Replace source registers with their copy-table originals."""
+    new_srcs = tuple(resolve(s) for s in instr.srcs)
+    new_args = tuple(resolve(a) for a in instr.args)
+    if new_srcs == instr.srcs and new_args == instr.args:
+        return instr
+    return Instruction(
+        opcode=instr.opcode, dst=instr.dst, srcs=new_srcs, imm=instr.imm, args=new_args
+    )
+
+
+def _fold_one(
+    instr: Instruction, constants: dict[str, int]
+) -> Optional[Instruction]:
+    """Fold one instruction against known constants (None = unchanged)."""
+    if instr.opcode is Opcode.BINOP and instr.dst is not None:
+        a, b = instr.srcs
+        if a in constants and b in constants:
+            assert isinstance(instr.imm, BinaryOp)
+            value = _eval_binop(instr.imm, constants[a], constants[b])
+            if value is not None:
+                return const(instr.dst, _wrap16(value))
+    elif instr.opcode is Opcode.UNOP and instr.dst is not None:
+        (a,) = instr.srcs
+        if a in constants:
+            value = -constants[a] if instr.imm is UnaryOp.NEG else int(constants[a] == 0)
+            return const(instr.dst, _wrap16(value))
+    elif instr.opcode is Opcode.MOV and instr.dst is not None:
+        (a,) = instr.srcs
+        if a in constants:
+            return const(instr.dst, constants[a])
+    return None
+
+
+def _block_constants(block) -> dict[str, int]:
+    """Registers holding known constants at the *end* of a block."""
+    constants: dict[str, int] = {}
+    for instr in block.instructions:
+        if instr.opcode is Opcode.CALL:
+            constants = {k: v for k, v in constants.items() if k.startswith("%")}
+        if instr.dst is not None:
+            constants.pop(instr.dst, None)
+            if instr.opcode is Opcode.CONST:
+                constants[instr.dst] = int(instr.imm)  # type: ignore[arg-type]
+    return constants
+
+
+def simplify_branches(procedure: Procedure) -> int:
+    """Constant-condition and same-target branches become jumps; returns count."""
+    simplified = 0
+    for block in procedure.cfg:
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        if term.then_target == term.else_target:
+            block.terminator = Jump(term.then_target)
+            simplified += 1
+            continue
+        constants = _block_constants(block)
+        if term.cond in constants:
+            target = term.then_target if constants[term.cond] != 0 else term.else_target
+            block.terminator = Jump(target)
+            simplified += 1
+    return simplified
+
+
+def thread_jumps(procedure: Procedure) -> int:
+    """Redirect edges through empty forwarding blocks; returns #redirects.
+
+    A forwarding block has no instructions and ends in an unconditional
+    jump.  Chains are followed to their end; cycles of empty blocks are
+    left alone (they would be rejected by validation anyway).
+    """
+    cfg = procedure.cfg
+    forward: dict[str, str] = {}
+    for block in cfg:
+        if not block.instructions and isinstance(block.terminator, Jump):
+            forward[block.label] = block.terminator.target
+
+    def final_target(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    redirects = 0
+    for block in cfg:
+        term = block.terminator
+        if isinstance(term, Jump):
+            target = final_target(term.target)
+            if target != term.target:
+                block.terminator = Jump(target)
+                redirects += 1
+        elif isinstance(term, Branch):
+            then_target = final_target(term.then_target)
+            else_target = final_target(term.else_target)
+            if (then_target, else_target) != (term.then_target, term.else_target):
+                block.terminator = Branch(term.cond, then_target, else_target)
+                redirects += 1
+    return redirects
+
+
+def remove_unreachable_blocks(procedure: Procedure) -> int:
+    """Drop blocks unreachable from the entry; returns #removed."""
+    cfg = procedure.cfg
+    reachable = cfg.reachable_labels()
+    dead = [label for label in cfg.labels if label not in reachable]
+    for label in dead:
+        cfg.remove_block(label)
+    return len(dead)
+
+
+def simplify_procedure(procedure: Procedure, max_rounds: int = 10) -> int:
+    """Run all passes to a fixpoint; returns the total rewrite count."""
+    total = 0
+    for _ in range(max_rounds):
+        changed = fold_constants(procedure)
+        changed += simplify_branches(procedure)
+        changed += thread_jumps(procedure)
+        changed += remove_unreachable_blocks(procedure)
+        total += changed
+        if changed == 0:
+            break
+    return total
+
+
+def simplify_program(program: Program) -> int:
+    """Simplify every procedure; returns the total rewrite count."""
+    return sum(simplify_procedure(proc) for proc in program)

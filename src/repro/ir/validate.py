@@ -1,0 +1,79 @@
+"""Structural validation of CFGs and programs.
+
+Run after construction (the front end and the synthetic generator both call
+this) so every later stage can assume a well-formed program:
+
+* every block is closed and every successor label exists;
+* the entry is present and at least one return block is reachable;
+* from every reachable block, a return remains reachable (otherwise the
+  procedure's Markov chain would not be absorbing and its execution time
+  would be infinite with positive probability);
+* calls reference declared procedures and the call graph is acyclic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import CFGValidationError, IRError
+from repro.ir.cfg import CFG
+from repro.ir.program import Program
+
+__all__ = ["validate_cfg", "validate_program"]
+
+
+def validate_cfg(cfg: CFG, proc_name: str = "<anonymous>") -> None:
+    """Raise :class:`CFGValidationError` unless ``cfg`` is well-formed."""
+    if cfg.entry not in cfg:
+        raise CFGValidationError(f"{proc_name}: entry block {cfg.entry!r} missing")
+
+    for block in cfg:
+        if not block.is_closed:
+            raise CFGValidationError(f"{proc_name}: block {block.label!r} is unterminated")
+        for succ in block.successors():
+            if succ not in cfg:
+                raise CFGValidationError(
+                    f"{proc_name}: block {block.label!r} targets unknown label {succ!r}"
+                )
+
+    reachable = cfg.reachable_labels()
+    returns = {b.label for b in cfg.return_blocks()}
+    if not returns & reachable:
+        raise CFGValidationError(f"{proc_name}: no return block reachable from entry")
+
+    # Absorption: every reachable block must be able to reach some return.
+    # Walk the reversed graph from the return blocks.
+    preds = cfg.predecessors()
+    can_exit: set[str] = set()
+    queue = deque(returns & reachable)
+    while queue:
+        label = queue.popleft()
+        if label in can_exit:
+            continue
+        can_exit.add(label)
+        queue.extend(e.src for e in preds[label])
+    trapped = sorted(reachable - can_exit)
+    if trapped:
+        raise CFGValidationError(
+            f"{proc_name}: blocks cannot reach a return (infinite loop): {trapped}"
+        )
+
+
+def validate_program(program: Program) -> None:
+    """Validate every procedure plus whole-program invariants."""
+    if program.entry not in program.procedures:
+        raise CFGValidationError(
+            f"program {program.name!r}: entry procedure {program.entry!r} missing"
+        )
+    for proc in program:
+        validate_cfg(proc.cfg, proc.name)
+        for callee in proc.callees():
+            if callee not in program.procedures:
+                raise CFGValidationError(
+                    f"{proc.name}: call to undeclared procedure {callee!r}"
+                )
+    # Raises IRError on recursion; surface it as a validation failure.
+    try:
+        program.topological_procedures()
+    except IRError as exc:
+        raise CFGValidationError(str(exc)) from exc

@@ -1,0 +1,98 @@
+"""Hand-written lexer for TinyScript.
+
+Produces a flat token list ending in an EOF token.  Comments run from ``#``
+or ``//`` to end of line.  Operators are maximal-munch over the two-character
+set first (``==``, ``!=``, ``<=``, ``>=``, ``&&``, ``||``, ``<<``, ``>>``)
+then single characters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||", "<<", ">>")
+_ONE_CHAR_OPS = "+-*/%<>!&|^="
+_PUNCT = "(){}[],;"
+_DIGITS = "0123456789"
+
+
+def _is_digit(ch: str) -> bool:
+    # ASCII only: str.isdigit() accepts characters like '²' that int() rejects.
+    return ch in _DIGITS
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch == "_" or (ch.isascii() and ch.isalpha())
+
+
+def _is_ident_continue(ch: str) -> bool:
+    return _is_ident_start(ch) or _is_digit(ch)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, col
+        if _is_digit(ch):
+            j = i
+            while j < n and _is_digit(source[j]):
+                j += 1
+            if j < n and _is_ident_start(source[j]):
+                raise LexError(f"malformed number starting {source[i:j + 1]!r}", line, col)
+            text = source[i:j]
+            tokens.append(Token(TokenKind.INT, text, start_line, start_col, value=int(text)))
+            advance(j - i)
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_continue(source[j]):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j - i)
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenKind.OP, two, start_line, start_col))
+            advance(2)
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenKind.OP, ch, start_line, start_col))
+            advance()
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, start_line, start_col))
+            advance()
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

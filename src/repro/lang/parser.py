@@ -1,0 +1,386 @@
+"""Recursive-descent parser for TinyScript.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = optional)::
+
+    module     := { global | array | proc }
+    global     := "global" IDENT [ "=" ["-"] INT ] ";"
+    array      := "array" IDENT "[" INT "]" ";"
+    proc       := "proc" IDENT "(" [ IDENT { "," IDENT } ] ")" block
+    block      := "{" { stmt } "}"
+    stmt       := "var" IDENT "=" expr ";"
+                | IDENT "=" expr ";"
+                | IDENT "[" expr "]" "=" expr ";"
+                | "if" "(" expr ")" block [ "else" ( block | if-stmt ) ]
+                | "while" "(" expr ")" block
+                | "for" "(" [init] ";" [expr] ";" [step] ")" block
+                  -- sugar: init; while (expr or 1) { body; step; }
+                  -- init := "var" IDENT "=" expr | assignment (no ";")
+                  -- step := assignment (no ";")
+                | "return" [ expr ] ";"
+                | "send" "(" expr ")" ";"
+                | "led" "(" expr ")" ";"
+                | IDENT "(" [ args ] ")" ";"
+    expr       := or
+    or         := and { "||" and }
+    and        := cmp { "&&" cmp }
+    cmp        := bitor [ ("=="|"!="|"<"|"<="|">"|">=") bitor ]
+    bitor      := bitxor { "|" bitxor }
+    bitxor     := bitand { "^" bitand }
+    bitand     := shift { "&" shift }
+    shift      := add { ("<<"|">>") add }
+    add        := mul { ("+"|"-") mul }
+    mul        := unary { ("*"|"/"|"%") unary }
+    unary      := ("-"|"!") unary | primary
+    primary    := INT | IDENT | IDENT "[" expr "]" | IDENT "(" args ")"
+                | "sense" "(" IDENT ")" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.ast_nodes import Pos
+from repro.lang.tokens import Token, TokenKind
+
+__all__ = ["parse", "parse_expression"]
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.i]
+
+    def _pos(self) -> Pos:
+        return Pos(self.current.line, self.current.column)
+
+    def error(self, message: str) -> ParseError:
+        tok = self.current
+        found = tok.text or "<eof>"
+        return ParseError(f"{message}, found {found!r}", tok.line, tok.column)
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self.i += 1
+        return tok
+
+    def match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self.current.is_(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        tok = self.match(kind, text)
+        if tok is None:
+            want = text if text is not None else kind.value
+            raise self.error(f"expected {want!r}")
+        return tok
+
+    # -- declarations ---------------------------------------------------------
+
+    def module(self) -> ast.Module:
+        globals_: list[ast.GlobalDecl] = []
+        arrays: list[ast.ArrayDecl] = []
+        procs: list[ast.ProcDecl] = []
+        while not self.current.is_(TokenKind.EOF):
+            if self.current.is_(TokenKind.KEYWORD, "global"):
+                globals_.append(self.global_decl())
+            elif self.current.is_(TokenKind.KEYWORD, "array"):
+                arrays.append(self.array_decl())
+            elif self.current.is_(TokenKind.KEYWORD, "proc"):
+                procs.append(self.proc_decl())
+            else:
+                raise self.error("expected 'global', 'array' or 'proc'")
+        return ast.Module(tuple(globals_), tuple(arrays), tuple(procs))
+
+    def global_decl(self) -> ast.GlobalDecl:
+        pos = self._pos()
+        self.expect(TokenKind.KEYWORD, "global")
+        name = self.expect(TokenKind.IDENT).text
+        init = 0
+        if self.match(TokenKind.OP, "="):
+            sign = -1 if self.match(TokenKind.OP, "-") else 1
+            init = sign * int(self.expect(TokenKind.INT).value or 0)
+        self.expect(TokenKind.PUNCT, ";")
+        return ast.GlobalDecl(name, init, pos)
+
+    def array_decl(self) -> ast.ArrayDecl:
+        pos = self._pos()
+        self.expect(TokenKind.KEYWORD, "array")
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.PUNCT, "[")
+        size_tok = self.expect(TokenKind.INT)
+        self.expect(TokenKind.PUNCT, "]")
+        self.expect(TokenKind.PUNCT, ";")
+        size = int(size_tok.value or 0)
+        if size <= 0:
+            raise ParseError("array size must be positive", size_tok.line, size_tok.column)
+        return ast.ArrayDecl(name, size, pos)
+
+    def proc_decl(self) -> ast.ProcDecl:
+        pos = self._pos()
+        self.expect(TokenKind.KEYWORD, "proc")
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.PUNCT, "(")
+        params: list[str] = []
+        if not self.current.is_(TokenKind.PUNCT, ")"):
+            params.append(self.expect(TokenKind.IDENT).text)
+            while self.match(TokenKind.PUNCT, ","):
+                params.append(self.expect(TokenKind.IDENT).text)
+        self.expect(TokenKind.PUNCT, ")")
+        body = self.block()
+        return ast.ProcDecl(name, tuple(params), body, pos)
+
+    # -- statements -------------------------------------------------------------
+
+    def block(self) -> ast.Block:
+        pos = self._pos()
+        self.expect(TokenKind.PUNCT, "{")
+        stmts: list[ast.Stmt] = []
+        while not self.current.is_(TokenKind.PUNCT, "}"):
+            if self.current.is_(TokenKind.EOF):
+                raise self.error("unterminated block; expected '}'")
+            parsed = self.statement()
+            if isinstance(parsed, list):  # 'for' desugars to several stmts
+                stmts.extend(parsed)
+            else:
+                stmts.append(parsed)
+        self.expect(TokenKind.PUNCT, "}")
+        return ast.Block(tuple(stmts), pos)
+
+    def statement(self) -> ast.Stmt:
+        tok = self.current
+        pos = self._pos()
+        if tok.is_(TokenKind.KEYWORD, "var"):
+            self.advance()
+            name = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.OP, "=")
+            init = self.expression()
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.VarDecl(name, init, pos)
+        if tok.is_(TokenKind.KEYWORD, "if"):
+            return self.if_statement()
+        if tok.is_(TokenKind.KEYWORD, "while"):
+            self.advance()
+            self.expect(TokenKind.PUNCT, "(")
+            cond = self.expression()
+            self.expect(TokenKind.PUNCT, ")")
+            body = self.block()
+            return ast.While(cond, body, pos)
+        if tok.is_(TokenKind.KEYWORD, "for"):
+            return self.for_statement()
+        if tok.is_(TokenKind.KEYWORD, "return"):
+            self.advance()
+            value = None
+            if not self.current.is_(TokenKind.PUNCT, ";"):
+                value = self.expression()
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.ReturnStmt(value, pos)
+        if tok.is_(TokenKind.KEYWORD, "send"):
+            self.advance()
+            self.expect(TokenKind.PUNCT, "(")
+            value = self.expression()
+            self.expect(TokenKind.PUNCT, ")")
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.SendStmt(value, pos)
+        if tok.is_(TokenKind.KEYWORD, "led"):
+            self.advance()
+            self.expect(TokenKind.PUNCT, "(")
+            value = self.expression()
+            self.expect(TokenKind.PUNCT, ")")
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.LedStmt(value, pos)
+        if tok.is_(TokenKind.IDENT):
+            name = self.advance().text
+            if self.match(TokenKind.OP, "="):
+                value = self.expression()
+                self.expect(TokenKind.PUNCT, ";")
+                return ast.Assign(name, value, pos)
+            if self.match(TokenKind.PUNCT, "["):
+                index = self.expression()
+                self.expect(TokenKind.PUNCT, "]")
+                self.expect(TokenKind.OP, "=")
+                value = self.expression()
+                self.expect(TokenKind.PUNCT, ";")
+                return ast.IndexAssign(name, index, value, pos)
+            if self.match(TokenKind.PUNCT, "("):
+                args = self.call_args()
+                self.expect(TokenKind.PUNCT, ";")
+                return ast.ExprStmt(ast.CallExpr(name, args, pos), pos)
+            raise self.error("expected '=', '[' or '(' after identifier")
+        raise self.error("expected a statement")
+
+    def _simple_clause(self, allow_var: bool) -> ast.Stmt:
+        """A ';'-free init/step clause of a 'for' header."""
+        pos = self._pos()
+        if allow_var and self.match(TokenKind.KEYWORD, "var"):
+            name = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.OP, "=")
+            return ast.VarDecl(name, self.expression(), pos)
+        name = self.expect(TokenKind.IDENT).text
+        if self.match(TokenKind.PUNCT, "["):
+            index = self.expression()
+            self.expect(TokenKind.PUNCT, "]")
+            self.expect(TokenKind.OP, "=")
+            return ast.IndexAssign(name, index, self.expression(), pos)
+        self.expect(TokenKind.OP, "=")
+        return ast.Assign(name, self.expression(), pos)
+
+    def for_statement(self) -> list[ast.Stmt]:
+        """Desugar ``for (init; cond; step) body`` to init + while.
+
+        Note the TinyScript scoping rule: a ``var`` declared in the init
+        clause belongs to the *enclosing* scope (there is no block scoping).
+        """
+        pos = self._pos()
+        self.expect(TokenKind.KEYWORD, "for")
+        self.expect(TokenKind.PUNCT, "(")
+        init: Optional[ast.Stmt] = None
+        if not self.current.is_(TokenKind.PUNCT, ";"):
+            init = self._simple_clause(allow_var=True)
+        self.expect(TokenKind.PUNCT, ";")
+        cond: ast.Expr = ast.IntLit(1, pos)
+        if not self.current.is_(TokenKind.PUNCT, ";"):
+            cond = self.expression()
+        self.expect(TokenKind.PUNCT, ";")
+        step: Optional[ast.Stmt] = None
+        if not self.current.is_(TokenKind.PUNCT, ")"):
+            step = self._simple_clause(allow_var=False)
+        self.expect(TokenKind.PUNCT, ")")
+        body = self.block()
+        loop_body = body.statements + ((step,) if step is not None else ())
+        loop = ast.While(cond, ast.Block(loop_body, body.pos), pos)
+        return ([init] if init is not None else []) + [loop]
+
+    def if_statement(self) -> ast.If:
+        pos = self._pos()
+        self.expect(TokenKind.KEYWORD, "if")
+        self.expect(TokenKind.PUNCT, "(")
+        cond = self.expression()
+        self.expect(TokenKind.PUNCT, ")")
+        then_body = self.block()
+        else_body: Optional[ast.Block] = None
+        if self.match(TokenKind.KEYWORD, "else"):
+            if self.current.is_(TokenKind.KEYWORD, "if"):
+                nested = self.if_statement()
+                else_body = ast.Block((nested,), nested.pos)
+            else:
+                else_body = self.block()
+        return ast.If(cond, then_body, else_body, pos)
+
+    # -- expressions ------------------------------------------------------------
+
+    def call_args(self) -> tuple[ast.Expr, ...]:
+        """Arguments after '('; consumes the closing ')'."""
+        args: list[ast.Expr] = []
+        if not self.current.is_(TokenKind.PUNCT, ")"):
+            args.append(self.expression())
+            while self.match(TokenKind.PUNCT, ","):
+                args.append(self.expression())
+        self.expect(TokenKind.PUNCT, ")")
+        return tuple(args)
+
+    def expression(self) -> ast.Expr:
+        return self._or()
+
+    def _binary_level(self, ops: tuple[str, ...], next_level) -> ast.Expr:
+        left = next_level()
+        while self.current.kind is TokenKind.OP and self.current.text in ops:
+            pos = self._pos()
+            op = self.advance().text
+            right = next_level()
+            left = ast.Binary(op, left, right, pos)
+        return left
+
+    def _or(self) -> ast.Expr:
+        return self._binary_level(("||",), self._and)
+
+    def _and(self) -> ast.Expr:
+        return self._binary_level(("&&",), self._cmp)
+
+    def _cmp(self) -> ast.Expr:
+        left = self._bitor()
+        if self.current.kind is TokenKind.OP and self.current.text in _CMP_OPS:
+            pos = self._pos()
+            op = self.advance().text
+            right = self._bitor()
+            return ast.Binary(op, left, right, pos)
+        return left
+
+    def _bitor(self) -> ast.Expr:
+        return self._binary_level(("|",), self._bitxor)
+
+    def _bitxor(self) -> ast.Expr:
+        return self._binary_level(("^",), self._bitand)
+
+    def _bitand(self) -> ast.Expr:
+        return self._binary_level(("&",), self._shift)
+
+    def _shift(self) -> ast.Expr:
+        return self._binary_level(("<<", ">>"), self._add)
+
+    def _add(self) -> ast.Expr:
+        return self._binary_level(("+", "-"), self._mul)
+
+    def _mul(self) -> ast.Expr:
+        return self._binary_level(("*", "/", "%"), self._unary)
+
+    def _unary(self) -> ast.Expr:
+        if self.current.kind is TokenKind.OP and self.current.text in ("-", "!"):
+            pos = self._pos()
+            op = self.advance().text
+            return ast.Unary(op, self._unary(), pos)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.current
+        pos = self._pos()
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(int(tok.value or 0), pos)
+        if tok.is_(TokenKind.KEYWORD, "sense"):
+            self.advance()
+            self.expect(TokenKind.PUNCT, "(")
+            channel = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.PUNCT, ")")
+            return ast.SenseExpr(channel, pos)
+        if tok.kind is TokenKind.IDENT:
+            name = self.advance().text
+            if self.match(TokenKind.PUNCT, "["):
+                index = self.expression()
+                self.expect(TokenKind.PUNCT, "]")
+                return ast.IndexRef(name, index, pos)
+            if self.match(TokenKind.PUNCT, "("):
+                return ast.CallExpr(name, self.call_args(), pos)
+            return ast.VarRef(name, pos)
+        if self.match(TokenKind.PUNCT, "("):
+            inner = self.expression()
+            self.expect(TokenKind.PUNCT, ")")
+            return inner
+        raise self.error("expected an expression")
+
+
+def parse(tokens: list[Token]) -> ast.Module:
+    """Parse a token stream into a :class:`~repro.lang.ast_nodes.Module`."""
+    parser = _Parser(tokens)
+    module = parser.module()
+    return module
+
+
+def parse_expression(tokens: list[Token]) -> ast.Expr:
+    """Parse a standalone expression (exposed for tests and tooling)."""
+    parser = _Parser(tokens)
+    expr = parser.expression()
+    if not parser.current.is_(TokenKind.EOF):
+        raise parser.error("trailing input after expression")
+    return expr

@@ -1,0 +1,198 @@
+"""Semantic checks for TinyScript modules.
+
+Runs after parsing and before lowering.  The checks are exactly the ones the
+rest of the pipeline relies on:
+
+* unique global / array / procedure names; locals may not shadow globals
+  (so a bare name is unambiguous at runtime);
+* every read names a declared scalar, every indexed access a declared array;
+* calls name declared procedures with matching arity; a call in expression
+  position requires a value-returning callee;
+* a procedure either always or never returns a value (mixing is an error);
+* no statements after a ``return`` inside a block (would be unreachable and
+  would distort the block census the evaluation reports);
+* the entry procedure exists and takes no parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+
+__all__ = ["check_program", "proc_returns_value"]
+
+
+def _err(message: str, pos: ast.Pos) -> SemanticError:
+    return SemanticError(f"{pos.line}:{pos.column}: {message}")
+
+
+def proc_returns_value(proc: ast.ProcDecl) -> bool:
+    """True when any ``return expr;`` appears in the procedure body."""
+    found = False
+
+    def visit_block(block: ast.Block) -> None:
+        nonlocal found
+        for stmt in block.statements:
+            if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+                found = True
+            elif isinstance(stmt, ast.If):
+                visit_block(stmt.then_body)
+                if stmt.else_body:
+                    visit_block(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                visit_block(stmt.body)
+
+    visit_block(proc.body)
+    return found
+
+
+class _ProcChecker:
+    """Checks one procedure body against module-level declarations."""
+
+    def __init__(
+        self,
+        module: ast.Module,
+        proc: ast.ProcDecl,
+        returns_value: dict[str, bool],
+        arity: dict[str, int],
+    ) -> None:
+        self.module = module
+        self.proc = proc
+        self.returns_value = returns_value
+        self.arity = arity
+        self.globals = {g.name for g in module.globals_}
+        self.arrays = {a.name for a in module.arrays}
+        self.scope: set[str] = set(proc.params)
+        self.has_value_return: Optional[bool] = None
+
+    def run(self) -> None:
+        for param in self.proc.params:
+            if param in self.globals or param in self.arrays:
+                raise _err(
+                    f"parameter {param!r} shadows a global declaration", self.proc.pos
+                )
+        self.check_block(self.proc.body)
+
+    # -- statements -----------------------------------------------------------
+
+    def check_block(self, block: ast.Block) -> None:
+        terminated_at: Optional[ast.Pos] = None
+        for stmt in block.statements:
+            if terminated_at is not None:
+                raise _err("unreachable statement after 'return'", stmt.pos)
+            self.check_stmt(stmt)
+            if isinstance(stmt, ast.ReturnStmt):
+                terminated_at = stmt.pos
+
+    def check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self.check_expr(stmt.init)
+            if stmt.name in self.scope:
+                raise _err(f"redeclaration of {stmt.name!r}", stmt.pos)
+            if stmt.name in self.globals or stmt.name in self.arrays:
+                raise _err(f"local {stmt.name!r} shadows a global declaration", stmt.pos)
+            self.scope.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            self.check_expr(stmt.value)
+            if stmt.name not in self.scope and stmt.name not in self.globals:
+                raise _err(f"assignment to undeclared variable {stmt.name!r}", stmt.pos)
+        elif isinstance(stmt, ast.IndexAssign):
+            if stmt.array not in self.arrays:
+                raise _err(f"undeclared array {stmt.array!r}", stmt.pos)
+            self.check_expr(stmt.index)
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.cond)
+            self.check_block(stmt.then_body)
+            if stmt.else_body:
+                self.check_block(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.cond)
+            self.check_block(stmt.body)
+        elif isinstance(stmt, ast.ReturnStmt):
+            has_value = stmt.value is not None
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+            if self.has_value_return is None:
+                self.has_value_return = has_value
+            elif self.has_value_return != has_value:
+                raise _err(
+                    f"procedure {self.proc.name!r} mixes value and void returns",
+                    stmt.pos,
+                )
+        elif isinstance(stmt, (ast.SendStmt, ast.LedStmt)):
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.CallExpr):
+                raise _err("only calls may be used as statements", stmt.pos)
+            self.check_call(stmt.expr, require_value=False)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise _err(f"unknown statement {type(stmt).__name__}", stmt.pos)
+
+    # -- expressions -------------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in self.scope and expr.name not in self.globals:
+                raise _err(f"use of undeclared variable {expr.name!r}", expr.pos)
+            return
+        if isinstance(expr, ast.IndexRef):
+            if expr.array not in self.arrays:
+                raise _err(f"undeclared array {expr.array!r}", expr.pos)
+            self.check_expr(expr.index)
+            return
+        if isinstance(expr, ast.Unary):
+            self.check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Binary):
+            self.check_expr(expr.left)
+            self.check_expr(expr.right)
+            return
+        if isinstance(expr, ast.SenseExpr):
+            return
+        if isinstance(expr, ast.CallExpr):
+            self.check_call(expr, require_value=True)
+            return
+        raise _err(f"unknown expression {type(expr).__name__}", expr.pos)
+
+    def check_call(self, call: ast.CallExpr, require_value: bool) -> None:
+        if call.callee not in self.arity:
+            raise _err(f"call to undeclared procedure {call.callee!r}", call.pos)
+        expected = self.arity[call.callee]
+        if len(call.args) != expected:
+            raise _err(
+                f"{call.callee!r} expects {expected} argument(s), got {len(call.args)}",
+                call.pos,
+            )
+        if require_value and not self.returns_value[call.callee]:
+            raise _err(
+                f"{call.callee!r} returns no value but is used in an expression",
+                call.pos,
+            )
+        for arg in call.args:
+            self.check_expr(arg)
+
+
+def check_program(module: ast.Module, entry: str = "main") -> None:
+    """Validate a parsed module; raises :class:`SemanticError` on problems."""
+    seen: set[str] = set()
+    for decl in (*module.globals_, *module.arrays, *module.procedures):
+        if decl.name in seen:
+            raise _err(f"duplicate declaration of {decl.name!r}", decl.pos)
+        seen.add(decl.name)
+
+    proc_names = {p.name for p in module.procedures}
+    if entry not in proc_names:
+        raise SemanticError(f"entry procedure {entry!r} is not declared")
+    entry_proc = next(p for p in module.procedures if p.name == entry)
+    if entry_proc.params:
+        raise _err(f"entry procedure {entry!r} must take no parameters", entry_proc.pos)
+
+    returns_value = {p.name: proc_returns_value(p) for p in module.procedures}
+    arity = {p.name: len(p.params) for p in module.procedures}
+    for proc in module.procedures:
+        _ProcChecker(module, proc, returns_value, arity).run()

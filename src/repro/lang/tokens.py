@@ -1,0 +1,56 @@
+"""Token kinds and the token record for the TinyScript lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    IDENT = "ident"
+    INT = "int"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "proc",
+        "var",
+        "global",
+        "array",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "sense",
+        "send",
+        "led",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: Union[int, None] = None
+
+    def is_(self, kind: TokenKind, text: str | None = None) -> bool:
+        """Match on kind and, if given, exact text."""
+        return self.kind is kind and (text is None or self.text == text)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.text!r}@{self.line}:{self.column}"

@@ -1,0 +1,253 @@
+"""Absorbing discrete-time Markov chains with per-state rewards.
+
+A procedure's chain has one *transient* state per basic block and a single
+absorbing EXIT state.  Each transient state carries a reward — the block's
+deterministic cycle cost — so the total reward accumulated until absorption
+is exactly the procedure's execution time.  All tomography math reduces to
+questions about this object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import MarkovError, NotAbsorbingError
+
+__all__ = ["AbsorbingChain"]
+
+_ROW_SUM_ATOL = 1e-8
+
+
+class AbsorbingChain:
+    """An absorbing DTMC over named transient states plus one EXIT state.
+
+    Parameters
+    ----------
+    states:
+        Transient state names, in a fixed order that indexes all matrices.
+    transition:
+        ``(n, n+1)`` row-stochastic matrix.  Column ``j < n`` is the
+        probability of moving to transient state ``j``; the final column is
+        the probability of absorbing (exiting the procedure).
+    rewards:
+        Length-``n`` non-negative reward accrued on each visit to the
+        corresponding transient state.  Either a vector of deterministic
+        rewards, or a ``(mean, variance, third_central)`` triple of vectors
+        describing *random* per-visit rewards drawn independently on each
+        visit — used to fold callee execution-time distributions into a
+        caller block without enumerating the callee's states.
+    start:
+        Name of the initial state (the procedure's entry block).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        transition: np.ndarray,
+        rewards: Union[Sequence[float], tuple[Sequence[float], Sequence[float], Sequence[float]]],
+        start: str,
+    ) -> None:
+        self.states = list(states)
+        if len(set(self.states)) != len(self.states):
+            raise MarkovError("duplicate state names")
+        n = len(self.states)
+        if n == 0:
+            raise MarkovError("chain needs at least one transient state")
+
+        matrix = np.asarray(transition, dtype=float)
+        if matrix.shape != (n, n + 1):
+            raise MarkovError(
+                f"transition must be shape ({n}, {n + 1}), got {matrix.shape}"
+            )
+        if np.any(matrix < -1e-12):
+            raise MarkovError("transition probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if np.any(np.abs(row_sums - 1.0) > _ROW_SUM_ATOL):
+            bad = int(np.argmax(np.abs(row_sums - 1.0)))
+            raise MarkovError(
+                f"row {self.states[bad]!r} sums to {row_sums[bad]}, expected 1"
+            )
+        self._matrix = np.clip(matrix, 0.0, 1.0)
+
+        if isinstance(rewards, tuple) and len(rewards) == 3:
+            mean_vec, var_vec, mu3_vec = (np.asarray(v, dtype=float) for v in rewards)
+        else:
+            mean_vec = np.asarray(rewards, dtype=float)
+            var_vec = np.zeros_like(mean_vec)
+            mu3_vec = np.zeros_like(mean_vec)
+        for name, vec in (("mean", mean_vec), ("variance", var_vec), ("mu3", mu3_vec)):
+            if vec.shape != (n,):
+                raise MarkovError(f"reward {name} must have length {n}, got {vec.shape}")
+        if np.any(mean_vec < 0):
+            raise MarkovError("reward means must be non-negative")
+        if np.any(var_vec < 0):
+            raise MarkovError("reward variances must be non-negative")
+        self.rewards = mean_vec
+        self.reward_variances = var_vec
+        self.reward_third_centrals = mu3_vec
+
+        if start not in self.states:
+            raise MarkovError(f"start state {start!r} not among states")
+        self.start = start
+        self._index = {name: i for i, name in enumerate(self.states)}
+        self._fundamental: Optional[np.ndarray] = None
+        self._check_absorbing()
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of transient states."""
+        return len(self.states)
+
+    @property
+    def start_index(self) -> int:
+        """Row index of the start state."""
+        return self._index[self.start]
+
+    def index(self, state: str) -> int:
+        """Matrix index of a named state."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise MarkovError(f"unknown state {state!r}") from None
+
+    @property
+    def Q(self) -> np.ndarray:
+        """Transient-to-transient submatrix (read-only view)."""
+        view = self._matrix[:, :-1]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def exit_probabilities(self) -> np.ndarray:
+        """Per-state absorption probabilities (read-only view)."""
+        view = self._matrix[:, -1]
+        view.flags.writeable = False
+        return view
+
+    def probability(self, src: str, dst: Optional[str]) -> float:
+        """Transition probability ``src → dst`` (``dst=None`` = EXIT)."""
+        i = self.index(src)
+        if dst is None:
+            return float(self._matrix[i, -1])
+        return float(self._matrix[i, self.index(dst)])
+
+    # -- absorbing-chain math ------------------------------------------------
+
+    def _check_absorbing(self) -> None:
+        """Verify absorption is reachable from every state reachable from start.
+
+        Spectral radius of Q < 1 iff the chain absorbs almost surely from
+        everywhere; we instead do a reachability check so the error can name
+        the trapped states.
+        """
+        n = self.n
+        # States that can reach EXIT: reverse-reachability over positive entries.
+        positive = (self.Q > 0).astype(np.int64)
+        can_exit = np.asarray(self.exit_probabilities > 0, dtype=bool)
+        changed = True
+        while changed:
+            changed = False
+            # state i has an edge to a state that can already exit
+            reaches = (positive @ can_exit.astype(np.int64)) > 0
+            new = can_exit | reaches
+            if np.any(new != can_exit):
+                can_exit = new
+                changed = True
+        # Only reachable-from-start states matter.
+        reachable = np.zeros(n, dtype=bool)
+        reachable[self.start_index] = True
+        changed = True
+        while changed:
+            changed = False
+            new = reachable | ((reachable.astype(np.int64) @ positive) > 0)
+            if np.any(new != reachable):
+                reachable = new
+                changed = True
+        trapped = [s for i, s in enumerate(self.states) if reachable[i] and not can_exit[i]]
+        if trapped:
+            raise NotAbsorbingError(f"states cannot reach absorption: {trapped}")
+        # Unreachable states may form non-absorbing junk (dead code); they get
+        # zero visits, and the fundamental matrix is inverted on this mask.
+        self._reachable_mask = reachable
+
+    def fundamental_matrix(self) -> np.ndarray:
+        """``N = (I - Q)^-1`` over reachable states; E[visits to j | start i].
+
+        Rows/columns of states unreachable from the start are zero (they are
+        never visited, and including them could make ``I - Q`` singular when
+        dead code contains a cycle).  Cached: the chain is immutable.
+        """
+        if self._fundamental is None:
+            mask = self._reachable_mask
+            sub_q = self.Q[np.ix_(mask, mask)]
+            identity = np.eye(int(mask.sum()))
+            try:
+                sub_n = np.linalg.solve(identity - sub_q, identity)
+            except np.linalg.LinAlgError as exc:  # pragma: no cover - guarded above
+                raise NotAbsorbingError("I - Q is singular") from exc
+            full = np.zeros((self.n, self.n))
+            full[np.ix_(mask, mask)] = sub_n
+            self._fundamental = full
+        return self._fundamental
+
+    def expected_visits_from_start(self) -> np.ndarray:
+        """E[visit count of each state], starting from the start state."""
+        return self.fundamental_matrix()[self.start_index]
+
+    def expected_reward(self) -> float:
+        """E[total reward until absorption] from the start state."""
+        return float(self.expected_visits_from_start() @ self.rewards)
+
+    @property
+    def has_random_rewards(self) -> bool:
+        """True when any per-visit reward has a nonzero variance or skew."""
+        return bool(
+            np.any(self.reward_variances > 0) or np.any(self.reward_third_centrals != 0)
+        )
+
+    def reward_raw_moments_per_state(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw moments (r1, r2, r3) of the per-visit reward at each state."""
+        r1 = self.rewards
+        r2 = self.reward_variances + r1**2
+        r3 = self.reward_third_centrals + 3.0 * r1 * self.reward_variances + r1**3
+        return r1, r2, r3
+
+    def reward_moment_vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-start-state raw moments (m1, m2, m3) of total accumulated reward.
+
+        Let ``S_i`` be the reward accumulated until absorption starting at
+        state ``i``, with per-visit rewards ``R_i`` independent across visits
+        (raw moments ``r1, r2, r3``).  Conditioning on one step
+        (``S_i = R_i + S_next``):
+
+        ``m1 = (I-Q)^-1 r1``
+        ``m2 = (I-Q)^-1 (r2 + 2 r1∘(Q m1))``
+        ``m3 = (I-Q)^-1 (r3 + 3 r2∘(Q m1) + 3 r1∘(Q m2))``
+
+        These are exact; the tomography forward model is built on them.
+        """
+        fundamental = self.fundamental_matrix()
+        r1, r2, r3 = self.reward_raw_moments_per_state()
+        q_matrix = self.Q
+        m1 = fundamental @ r1
+        qm1 = q_matrix @ m1
+        m2 = fundamental @ (r2 + 2.0 * r1 * qm1)
+        qm2 = q_matrix @ m2
+        m3 = fundamental @ (r3 + 3.0 * r2 * qm1 + 3.0 * r1 * qm2)
+        return m1, m2, m3
+
+    # -- housekeeping --------------------------------------------------------
+
+    def with_rewards(
+        self,
+        rewards: Union[Sequence[float], tuple[Sequence[float], Sequence[float], Sequence[float]]],
+    ) -> "AbsorbingChain":
+        """Same structure, different reward specification."""
+        return AbsorbingChain(self.states, self._matrix.copy(), rewards, self.start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AbsorbingChain(n={self.n}, start={self.start!r})"

@@ -1,0 +1,65 @@
+"""Energy accounting for profiling-overhead comparisons (evaluation T2).
+
+Currents follow CC2420/ATmega-class datasheet orders of magnitude.  Energy is
+integrated from event counts rather than waveforms: active CPU cycles, ADC
+conversions, radio packet transmissions.  Only *relative* overhead matters to
+the reproduction (instrumented vs tomography builds on identical workloads),
+so the model favours transparency over electrical detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MoteError
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Convert activity counts into millijoules."""
+
+    voltage: float = 3.0
+    clock_hz: float = 7_372_800.0
+    cpu_active_ma: float = 8.0
+    adc_ma: float = 1.0  # extra draw during a conversion
+    adc_conversion_s: float = 200e-6
+    radio_tx_ma: float = 17.4
+    radio_tx_s_per_packet: float = 4e-3  # 128-byte frame at 250 kbps + turnaround
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "voltage",
+            "clock_hz",
+            "cpu_active_ma",
+            "adc_ma",
+            "adc_conversion_s",
+            "radio_tx_ma",
+            "radio_tx_s_per_packet",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise MoteError(f"{field_name} must be positive")
+
+    def cpu_mj(self, cycles: float) -> float:
+        """Energy of ``cycles`` of active CPU time."""
+        if cycles < 0:
+            raise MoteError("cycles must be non-negative")
+        seconds = cycles / self.clock_hz
+        return self.cpu_active_ma * self.voltage * seconds
+
+    def adc_mj(self, conversions: int) -> float:
+        """Extra energy of ``conversions`` ADC reads."""
+        if conversions < 0:
+            raise MoteError("conversions must be non-negative")
+        return self.adc_ma * self.voltage * self.adc_conversion_s * conversions
+
+    def radio_mj(self, packets: int) -> float:
+        """Energy of ``packets`` radio transmissions."""
+        if packets < 0:
+            raise MoteError("packets must be non-negative")
+        return self.radio_tx_ma * self.voltage * self.radio_tx_s_per_packet * packets
+
+    def total_mj(self, *, cycles: float, conversions: int = 0, packets: int = 0) -> float:
+        """Total energy of a run described by its activity counts."""
+        return self.cpu_mj(cycles) + self.adc_mj(conversions) + self.radio_mj(packets)

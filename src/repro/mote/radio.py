@@ -1,0 +1,52 @@
+"""A minimal packet radio: logs transmissions for counting and inspection.
+
+The workloads call ``send(value)``; the execution engine forwards each call
+here.  Profiling schemes that ship their data off-mote (the tomography
+collector uploads timing summaries; full instrumentation uploads counter
+tables) also account their traffic through this interface so the energy
+comparison charges them fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Radio", "Packet"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One transmitted packet: payload value and the send cycle."""
+
+    value: int
+    cycle: int
+
+
+@dataclass
+class Radio:
+    """Transmission log plus byte accounting."""
+
+    bytes_per_packet: int = 36  # 802.15.4 header + 16-bit payload + MIC
+    packets: list[Packet] = field(default_factory=list)
+
+    def transmit(self, value: int, cycle: int) -> None:
+        """Record one application packet."""
+        self.packets.append(Packet(value=int(value), cycle=int(cycle)))
+
+    @property
+    def packet_count(self) -> int:
+        """Number of packets sent."""
+        return len(self.packets)
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total bytes on air."""
+        return self.packet_count * self.bytes_per_packet
+
+    def values(self) -> list[int]:
+        """Payload values in transmission order."""
+        return [p.value for p in self.packets]
+
+    def clear(self) -> None:
+        """Drop the log (keeps configuration)."""
+        self.packets.clear()

@@ -1,0 +1,76 @@
+"""Timestamp timers: the only instrument Code Tomography gets to use.
+
+Motes timestamp with a counter that ticks far slower than the CPU clock
+(e.g. a 32.768 kHz crystal against a 7.37 MHz core).  An end-to-end duration
+measured as ``tick(end) - tick(start)`` therefore carries quantization error
+of up to one tick plus electrical jitter.  :class:`TimestampTimer` converts
+exact simulated cycle counts into such degraded measurements, which is what
+the estimators are fed in every experiment — accuracy versus timer
+resolution is evaluation F3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MoteError
+from repro.util.rng import RngSource, as_rng
+
+__all__ = ["TimestampTimer"]
+
+
+@dataclass(frozen=True)
+class TimestampTimer:
+    """A free-running tick counter driven by the CPU cycle count.
+
+    Parameters
+    ----------
+    cycles_per_tick:
+        CPU cycles per timer tick (≥ 1).  ``1`` models an ideal cycle
+        counter; ``225`` models 32.768 kHz ticks on a 7.37 MHz core.
+    jitter_cycles:
+        Standard deviation of zero-mean Gaussian noise added to each raw
+        *timestamp*, in cycles — interrupt latency and crystal drift.
+    phase:
+        Fractional tick offset in ``[0, 1)`` of the counter at cycle zero.
+    """
+
+    cycles_per_tick: int = 1
+    jitter_cycles: float = 0.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_tick < 1:
+            raise MoteError(f"cycles_per_tick must be >= 1, got {self.cycles_per_tick}")
+        if self.jitter_cycles < 0:
+            raise MoteError(f"jitter_cycles must be >= 0, got {self.jitter_cycles}")
+        if not 0.0 <= self.phase < 1.0:
+            raise MoteError(f"phase must lie in [0, 1), got {self.phase}")
+
+    def tick_at(self, cycle: float, rng: RngSource = None) -> int:
+        """Timer reading at absolute CPU ``cycle`` (jitter applied if set)."""
+        if cycle < 0:
+            raise MoteError(f"cycle must be non-negative, got {cycle}")
+        observed = float(cycle)
+        if self.jitter_cycles > 0:
+            observed = max(0.0, observed + as_rng(rng).normal(0.0, self.jitter_cycles))
+        return int(math.floor(observed / self.cycles_per_tick + self.phase))
+
+    def measure_cycles(self, start_cycle: float, end_cycle: float, rng: RngSource = None) -> float:
+        """Duration estimate in cycles, as the mote firmware would compute it.
+
+        Reads the counter at both boundaries and scales the tick delta back
+        to cycles; resolution loss and jitter are inherent.
+        """
+        if end_cycle < start_cycle:
+            raise MoteError("end_cycle must be >= start_cycle")
+        gen = as_rng(rng)
+        start_tick = self.tick_at(start_cycle, gen)
+        end_tick = self.tick_at(end_cycle, gen)
+        return float((end_tick - start_tick) * self.cycles_per_tick)
+
+    @property
+    def resolution_cycles(self) -> int:
+        """Worst-case quantization granularity in cycles."""
+        return self.cycles_per_tick

@@ -1,0 +1,29 @@
+"""Baseline placements the optimized layout is compared against (F4/F5)."""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.placement.layout import Layout, ProgramLayout
+from repro.util.rng import RngSource, as_rng
+
+__all__ = ["source_order_layout", "random_program_layout"]
+
+
+def source_order_layout(program: Program) -> ProgramLayout:
+    """What an unprofiled compiler emits: blocks in source order."""
+    return ProgramLayout.source_order(program)
+
+
+def random_program_layout(program: Program, rng: RngSource = None) -> ProgramLayout:
+    """Entry-first, otherwise uniformly random block order per procedure.
+
+    A deliberately bad placement that bounds the metric from below; seed the
+    RNG for reproducible experiments.
+    """
+    gen = as_rng(rng)
+    layouts: dict[str, Layout] = {}
+    for proc in program:
+        rest = [label for label in proc.cfg.labels if label != proc.cfg.entry]
+        gen.shuffle(rest)
+        layouts[proc.name] = Layout(proc.cfg, [proc.cfg.entry] + rest)
+    return ProgramLayout(program, layouts)

@@ -1,0 +1,59 @@
+"""Profiling approaches compared by the evaluation.
+
+Three ways to learn a program's dynamic branch behaviour on a mote:
+
+* :mod:`repro.profiling.edge_profiler` — **full edge instrumentation**: a
+  counter per CFG edge, incremented on every traversal.  Exact, but pays
+  RAM for every static edge and cycles for every dynamic one.
+* :mod:`repro.profiling.sampling_profiler` — **PC sampling**: a timer
+  interrupt records the executing block every N cycles; branch
+  probabilities are inferred from cost-normalized block occupancy.
+* :mod:`repro.profiling.timing_profiler` — **Code Tomography's collector**:
+  two timestamps per procedure invocation (entry/exit), folded into O(1)
+  running moment accumulators.  The estimation itself happens off-mote in
+  :mod:`repro.core`.
+
+:mod:`repro.profiling.overhead` prices each approach's ROM/RAM/runtime/
+energy cost on a given program and run — evaluation table T2.
+"""
+
+from repro.profiling.timing_profiler import TimingDataset, TimingProfiler
+from repro.profiling.edge_profiler import EdgeProfile, EdgeProfiler
+from repro.profiling.sampling_profiler import SamplingProfile, SamplingProfiler
+from repro.profiling.overhead import (
+    OverheadReport,
+    edge_instrumentation_overhead,
+    sampling_overhead,
+    timing_overhead,
+)
+from repro.profiling.budget import HookPlan, apply_plan, plan_hooks
+from repro.profiling.serialize import (
+    dataset_from_json,
+    dataset_to_json,
+    estimation_from_json,
+    estimation_to_json,
+    layout_from_json,
+    layout_to_json,
+)
+
+__all__ = [
+    "TimingDataset",
+    "TimingProfiler",
+    "EdgeProfile",
+    "EdgeProfiler",
+    "SamplingProfile",
+    "SamplingProfiler",
+    "OverheadReport",
+    "edge_instrumentation_overhead",
+    "sampling_overhead",
+    "timing_overhead",
+    "HookPlan",
+    "plan_hooks",
+    "apply_plan",
+    "dataset_to_json",
+    "dataset_from_json",
+    "estimation_to_json",
+    "estimation_from_json",
+    "layout_to_json",
+    "layout_from_json",
+]

@@ -1,0 +1,30 @@
+"""Execution engine: runs IR programs on the mote model.
+
+:mod:`repro.sim.interpreter` executes programs block-by-block, charging
+cycles per the platform's cost model and layout-resolved control transfers,
+and recording ground-truth counters (block visits, edge traversals, taken
+branches, mispredictions) plus exact per-invocation entry/exit cycles.
+
+:mod:`repro.sim.runner` drives batches of activations and aggregates results.
+
+:mod:`repro.sim.timing` builds the *analytic* timing model of a procedure —
+an absorbing chain over blocks and branch-arm pseudo-states whose total
+reward is exactly the interpreter's cycle count — parameterized by the
+branch probabilities.  This is the forward model that Code Tomography
+inverts.
+"""
+
+from repro.sim.trace import ExecutionCounters, InvocationRecord, RunResult
+from repro.sim.interpreter import Interpreter
+from repro.sim.runner import run_program
+from repro.sim.timing import ProcedureTimingModel, ProgramTimingModel
+
+__all__ = [
+    "ExecutionCounters",
+    "InvocationRecord",
+    "RunResult",
+    "Interpreter",
+    "run_program",
+    "ProcedureTimingModel",
+    "ProgramTimingModel",
+]

@@ -1,0 +1,57 @@
+"""Batch execution driver: run many activations, aggregate the results."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mote.platform import Platform
+from repro.mote.radio import Radio
+from repro.mote.sensors import SensorSuite
+from repro.ir.program import Program
+from repro.placement.layout import ProgramLayout
+from repro.sim.interpreter import Interpreter
+from repro.sim.trace import RunResult
+
+__all__ = ["run_program"]
+
+
+def run_program(
+    program: Program,
+    platform: Platform,
+    sensors: SensorSuite,
+    activations: int,
+    layout: Optional[ProgramLayout] = None,
+    record_paths: bool = False,
+) -> RunResult:
+    """Execute ``activations`` top-level activations and aggregate.
+
+    The same :class:`~repro.sim.interpreter.Interpreter` instance is reused
+    so program globals persist across activations, as they would on a real
+    mote between timer firings.  The caller controls input nondeterminism
+    entirely through the ``sensors`` suite (seed it for reproducibility).
+    """
+    if activations < 0:
+        raise ValueError(f"activations must be non-negative, got {activations}")
+    interp = Interpreter(
+        program,
+        platform,
+        sensors,
+        layout=layout,
+        record_paths=record_paths,
+    )
+    for _ in range(activations):
+        interp.run_activation()
+    energy = platform.energy.total_mj(
+        cycles=interp.cycle,
+        conversions=interp.counters.sense_reads,
+        packets=interp.radio.packet_count,
+    )
+    return RunResult(
+        program_name=program.name,
+        activations=activations,
+        total_cycles=interp.cycle,
+        counters=interp.counters,
+        records=interp.records,
+        energy_mj=energy,
+        radio_packets=interp.radio.packet_count,
+    )

@@ -1,0 +1,248 @@
+"""Analytic, parameterized timing model of procedures.
+
+This is the forward model at the heart of Code Tomography: given branch
+probabilities ``theta``, it predicts the full distribution (first three
+moments) of a procedure's end-to-end execution time *exactly* as the
+interpreter would produce it.  The construction:
+
+* one chain state per reachable basic block, with reward equal to the
+  block's deterministic cycles (instructions, plus jump/return terminator
+  cost) **plus** the random execution time of any procedures it calls,
+  folded in as independent per-visit reward moments;
+* one zero-entropy pseudo-state per conditional branch *arm*, carrying the
+  layout-resolved cost of going that way (taken/not-taken penalty,
+  misprediction penalty, extra unconditional jump) — this is what lets a
+  state-reward chain price edge-dependent costs exactly;
+* branch blocks transition to their arm pseudo-states with probability
+  ``theta`` / ``1 - theta``; arms transition deterministically onward.
+
+Because the interpreter charges exactly these costs, the model's moments
+match simulation to sampling error — a property the integration tests pin
+down.  Estimators invert this model; the placement pass re-evaluates it
+under candidate layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.instructions import Branch, Jump, Return
+from repro.ir.procedure import Procedure
+from repro.ir.program import Program
+from repro.markov.builders import BranchParameterization
+from repro.markov.chain import AbsorbingChain
+from repro.markov.moments import RewardMoments, reward_moments
+from repro.mote.platform import Platform
+from repro.placement.layout import Layout, ProgramLayout
+
+__all__ = ["ProcedureTimingModel", "ProgramTimingModel"]
+
+
+class ProcedureTimingModel:
+    """Parameterized timing chain of one procedure under one layout.
+
+    ``callee_moments`` supplies the execution-time moments of every
+    procedure this one calls (computed bottom-up over the acyclic call
+    graph); they are folded into the calling block's per-visit reward.
+    """
+
+    def __init__(
+        self,
+        procedure: Procedure,
+        platform: Platform,
+        layout: Layout,
+        callee_moments: Optional[Mapping[str, RewardMoments]] = None,
+    ) -> None:
+        self.procedure = procedure
+        self.platform = platform
+        self.layout = layout
+        callee_moments = dict(callee_moments or {})
+
+        cfg = procedure.cfg
+        par = BranchParameterization(cfg)
+        self.branch_labels = par.branch_labels
+        self._reachable = set(par.states)
+        cpu = platform.cpu
+
+        states: list[str] = []
+        mean: list[float] = []
+        var: list[float] = []
+        mu3: list[float] = []
+        # Transition plan: (src_state_index, dst_label_or_None, kind)
+        # kind: ("fixed", p) for deterministic, ("theta", k, arm) for branches.
+        self._rows: list[list[tuple[object, ...]]] = []
+        index: dict[str, int] = {}
+
+        def add_state(name: str, m: float, v: float, t: float) -> int:
+            index[name] = len(states)
+            states.append(name)
+            mean.append(m)
+            var.append(v)
+            mu3.append(t)
+            self._rows.append([])
+            return index[name]
+
+        # Pass 1: block states with their rewards.
+        for label in par.states:
+            block = cfg.block(label)
+            det = float(cpu.block_cycles(block))
+            m_extra = v_extra = t_extra = 0.0
+            for callee in block.calls():
+                try:
+                    cm = callee_moments[callee]
+                except KeyError:
+                    raise SimulationError(
+                        f"timing model for {procedure.name!r} needs moments of "
+                        f"callee {callee!r}"
+                    ) from None
+                m_extra += cm.mean
+                v_extra += cm.variance
+                t_extra += cm.third_central
+            term = block.terminator
+            if isinstance(term, Return):
+                det += cpu.return_cost()
+            elif isinstance(term, Jump):
+                det += cpu.jump_cost(fallthrough=layout.jump_is_elided(label))
+            add_state(label, det + m_extra, v_extra, t_extra)
+
+        # Pass 2: arm pseudo-states and the transition plan.
+        for label in par.states:
+            block = cfg.block(label)
+            term = block.terminator
+            src = index[label]
+            if isinstance(term, Return):
+                self._rows[src].append(("exit", 1.0))
+            elif isinstance(term, Jump):
+                self._rows[src].append(("fixed", index[term.target], 1.0))
+            elif isinstance(term, Branch):
+                site = layout.resolve_branch(label)
+                k = self.branch_labels.index(label)
+                for arm, target in (("then", term.then_target), ("else", term.else_target)):
+                    cost = float(
+                        cpu.branch_cost(
+                            taken=site.arm_taken(arm),
+                            backward_target=site.backward_taken_target,
+                        )
+                    )
+                    if arm == site.extra_jump_arm:
+                        cost += cpu.jump_cycles
+                    arm_state = add_state(f"{label}@{arm}", cost, 0.0, 0.0)
+                    self._rows[arm_state].append(("fixed", index[target], 1.0))
+                    self._rows[src].append(("theta", arm_state, k, arm))
+
+        self.states = states
+        self._mean = np.asarray(mean)
+        self._var = np.asarray(var)
+        self._mu3 = np.asarray(mu3)
+        self._entry = procedure.cfg.entry
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of free branch probabilities."""
+        return len(self.branch_labels)
+
+    @property
+    def reward_means(self) -> np.ndarray:
+        """Per-state reward means (read-only copy)."""
+        return self._mean.copy()
+
+    @property
+    def reward_variances(self) -> np.ndarray:
+        """Per-state reward variances — nonzero only on blocks with calls."""
+        return self._var.copy()
+
+    @property
+    def entry_state(self) -> str:
+        """Name of the initial state."""
+        return self._entry
+
+    def transition_plan(self) -> list[list[tuple]]:
+        """The θ-independent transition structure, one row per state.
+
+        Row entries are ``("exit", p)``, ``("fixed", dst_index, p)`` or
+        ``("theta", dst_index, param_index, arm)`` with ``arm`` in
+        ``{"then", "else"}``.  Exposed for the path-enumeration machinery in
+        :mod:`repro.core.path_enum`.
+        """
+        plan: list[list[tuple]] = []
+        for row in self._rows:
+            entries: list[tuple] = []
+            for entry in row:
+                if entry[0] == "exit":
+                    entries.append(("exit", float(entry[1])))
+                elif entry[0] == "fixed":
+                    entries.append(("fixed", int(entry[1]), float(entry[2])))
+                else:
+                    _, arm_state, k, arm = entry
+                    entries.append(("theta", int(arm_state), int(k), str(arm)))
+            plan.append(entries)
+        return plan
+
+    def chain(self, theta: Sequence[float]) -> AbsorbingChain:
+        """Instantiate the timing chain for branch probabilities ``theta``."""
+        vec = np.asarray(theta, dtype=float)
+        if vec.shape != (self.n_parameters,):
+            raise SimulationError(
+                f"theta must have length {self.n_parameters}, got shape {vec.shape}"
+            )
+        n = len(self.states)
+        matrix = np.zeros((n, n + 1))
+        for i, row in enumerate(self._rows):
+            for entry in row:
+                if entry[0] == "exit":
+                    matrix[i, n] += entry[1]
+                elif entry[0] == "fixed":
+                    matrix[i, entry[1]] += entry[2]
+                else:  # ("theta", arm_state, k, arm)
+                    _, arm_state, k, arm = entry
+                    p = vec[k] if arm == "then" else 1.0 - vec[k]
+                    matrix[i, arm_state] += p
+        return AbsorbingChain(
+            self.states, matrix, (self._mean, self._var, self._mu3), self._entry
+        )
+
+    def moments(self, theta: Sequence[float]) -> RewardMoments:
+        """Predicted execution-time moments under ``theta``."""
+        return reward_moments(self.chain(theta))
+
+
+class ProgramTimingModel:
+    """Whole-program timing: composes procedure models over the call graph."""
+
+    def __init__(self, program: Program, platform: Platform, layout: Optional[ProgramLayout] = None) -> None:
+        self.program = program
+        self.platform = platform
+        self.layout = layout or ProgramLayout.source_order(program)
+
+    def procedure_model(
+        self, proc_name: str, callee_moments: Mapping[str, RewardMoments]
+    ) -> ProcedureTimingModel:
+        """Model of one procedure given its callees' moments."""
+        proc = self.program.procedure(proc_name)
+        return ProcedureTimingModel(
+            proc, self.platform, self.layout.layout(proc_name), callee_moments
+        )
+
+    def all_moments(self, thetas: Mapping[str, Sequence[float]]) -> dict[str, RewardMoments]:
+        """Execution-time moments of every procedure, composed bottom-up.
+
+        ``thetas`` maps procedure name → branch-probability vector (in
+        :class:`~repro.markov.builders.BranchParameterization` order).
+        """
+        moments: dict[str, RewardMoments] = {}
+        for proc in self.program.topological_procedures():
+            model = self.procedure_model(proc.name, moments)
+            theta = np.asarray(thetas.get(proc.name, ()), dtype=float)
+            if model.n_parameters and theta.shape != (model.n_parameters,):
+                raise SimulationError(
+                    f"thetas[{proc.name!r}] must have length {model.n_parameters}"
+                )
+            moments[proc.name] = model.moments(theta)
+        return moments
+
+    def entry_moments(self, thetas: Mapping[str, Sequence[float]]) -> RewardMoments:
+        """Moments of one whole activation (the entry procedure's time)."""
+        return self.all_moments(thetas)[self.program.entry]

@@ -1,0 +1,146 @@
+"""Execution records and ground-truth counters.
+
+The interpreter emits one :class:`InvocationRecord` per procedure invocation
+(the timestamps tomography will degrade and consume) and maintains an
+:class:`ExecutionCounters` with the exact dynamic counts a full-instrumentation
+profiler would gather — the oracle every estimator is judged against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.procedure import Procedure
+
+__all__ = ["InvocationRecord", "ExecutionCounters", "RunResult"]
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One dynamic procedure invocation with exact cycle boundaries."""
+
+    procedure: str
+    entry_cycle: int
+    exit_cycle: int
+    depth: int
+    path: Optional[tuple[str, ...]] = None
+
+    @property
+    def duration_cycles(self) -> int:
+        """Exact execution time in cycles (callee time included)."""
+        return self.exit_cycle - self.entry_cycle
+
+
+@dataclass
+class ExecutionCounters:
+    """Exact dynamic execution counts, the profiling ground truth.
+
+    Keys are ``(procedure, block_label)`` for visits and branch events, and
+    ``(procedure, block_label, arm)`` for edges, where ``arm`` is ``"then"``,
+    ``"else"`` or ``"jump"``.
+    """
+
+    block_visits: Counter = field(default_factory=Counter)
+    edge_counts: Counter = field(default_factory=Counter)
+    branch_taken: Counter = field(default_factory=Counter)
+    branch_mispredicts: Counter = field(default_factory=Counter)
+    branches_executed: int = 0
+    taken_total: int = 0
+    mispredict_total: int = 0
+    sense_reads: int = 0
+    sends: int = 0
+    invocations: Counter = field(default_factory=Counter)
+
+    # -- recording (called by the interpreter) ------------------------------
+
+    def record_block(self, proc: str, label: str) -> None:
+        self.block_visits[(proc, label)] += 1
+
+    def record_edge(self, proc: str, label: str, arm: str) -> None:
+        self.edge_counts[(proc, label, arm)] += 1
+
+    def record_branch(self, proc: str, label: str, taken: bool, mispredicted: bool) -> None:
+        self.branches_executed += 1
+        if taken:
+            self.branch_taken[(proc, label)] += 1
+            self.taken_total += 1
+        if mispredicted:
+            self.branch_mispredicts[(proc, label)] += 1
+            self.mispredict_total += 1
+
+    # -- derived ground truth --------------------------------------------------
+
+    def true_branch_probabilities(self, proc: Procedure) -> np.ndarray:
+        """Empirical then-arm probability per branch, in parameter order.
+
+        Branches never executed get 0.5 (no information — matches the
+        estimator's uninformed prior, so accuracy metrics do not reward or
+        punish unexercised branches arbitrarily).
+        """
+        from repro.markov.builders import BranchParameterization
+
+        par = BranchParameterization(proc.cfg)
+        theta = np.empty(par.n_parameters)
+        for k, label in enumerate(par.branch_labels):
+            then_count = self.edge_counts[(proc.name, label, "then")]
+            else_count = self.edge_counts[(proc.name, label, "else")]
+            total = then_count + else_count
+            theta[k] = then_count / total if total else 0.5
+        return theta
+
+    def branch_executions(self, proc_name: str, label: str) -> int:
+        """How many times the branch ending ``label`` executed."""
+        return (
+            self.edge_counts[(proc_name, label, "then")]
+            + self.edge_counts[(proc_name, label, "else")]
+        )
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Mispredicted fraction of executed conditional branches."""
+        if self.branches_executed == 0:
+            return 0.0
+        return self.mispredict_total / self.branches_executed
+
+    @property
+    def taken_rate(self) -> float:
+        """Taken fraction of executed conditional branches."""
+        if self.branches_executed == 0:
+            return 0.0
+        return self.taken_total / self.branches_executed
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of a batch of activations."""
+
+    program_name: str
+    activations: int
+    total_cycles: int
+    counters: ExecutionCounters
+    records: list[InvocationRecord]
+    energy_mj: float
+    radio_packets: int
+
+    def records_for(self, proc_name: str) -> list[InvocationRecord]:
+        """The invocation records of one procedure, in execution order."""
+        return [r for r in self.records if r.procedure == proc_name]
+
+    def durations_for(self, proc_name: str) -> np.ndarray:
+        """Exact durations (cycles) of one procedure's invocations."""
+        durations = [r.duration_cycles for r in self.records_for(proc_name)]
+        if not durations:
+            raise SimulationError(f"procedure {proc_name!r} never ran")
+        return np.asarray(durations, dtype=float)
+
+    @property
+    def cycles_per_activation(self) -> float:
+        """Mean whole-activation cost."""
+        if self.activations == 0:
+            return 0.0
+        return self.total_cycles / self.activations

@@ -1,0 +1,57 @@
+"""Argument-validation helpers shared by public APIs.
+
+These raise ``ValueError`` with a message that names the offending argument,
+so API users get actionable errors instead of downstream numpy failures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_fraction",
+    "check_probability",
+    "check_probability_vector",
+]
+
+_PROB_ATOL = 1e-9
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it as float."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_probability(name: str, value: float, *, open_interval: bool = False) -> float:
+    """Require a probability; optionally require it strictly inside (0, 1)."""
+    value = check_fraction(name, value)
+    if open_interval and not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie strictly in (0, 1), got {value}")
+    return value
+
+
+def check_probability_vector(name: str, values: Sequence[float]) -> np.ndarray:
+    """Require a non-empty vector of probabilities summing to 1."""
+    vec = np.asarray(values, dtype=float)
+    if vec.ndim != 1 or vec.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D vector")
+    if np.any(vec < -_PROB_ATOL) or np.any(vec > 1 + _PROB_ATOL):
+        raise ValueError(f"{name} entries must lie in [0, 1]")
+    total = float(vec.sum())
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return np.clip(vec, 0.0, 1.0)

@@ -1,0 +1,39 @@
+"""Blink: the "hello world" of TinyOS, plus periodic housekeeping.
+
+Every activation advances an LED counter; every 16th activation reads the
+clock-drift channel and, rarely, recalibrates and reports.  Gives one
+moderately periodic branch (the Markov model approximates its 1/16 duty
+cycle as a probability) and one genuinely rare data-dependent branch.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = """
+# Blink with housekeeping: LED heartbeat + rare recalibration.
+global counter = 0;
+
+proc main() {
+    counter = counter + 1;
+    led(counter & 7);
+    if ((counter & 15) == 0) {
+        var drift = sense(clk);
+        if (drift > 900) {
+            counter = 0;
+            send(drift);
+        }
+    }
+}
+"""
+
+CHANNELS = {"clk": (520.0, 180.0)}
+
+SPEC = register(
+    WorkloadSpec(
+        name="blink",
+        description="LED heartbeat with periodic housekeeping and rare recalibration",
+        source=SOURCE,
+        channels=CHANNELS,
+    )
+)

@@ -1,0 +1,51 @@
+"""EventDetect: debounced rare-event detection with a burst-drain loop.
+
+The motivating shape from the paper's domain: almost every activation takes
+the cheap quiet path; rarely, an acoustic event fires the alarm, disarms the
+detector for a debounce window, and a tight loop drains the burst.  Branch
+probabilities here are strongly skewed (≈ 0.95 / 0.05), which is where
+profile-guided placement pays off most.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = """
+# EventDetect: debounced alarm on a mostly-quiet acoustic channel.
+global armed = 1;
+global debounce = 0;
+
+proc main() {
+    var v = sense(acoustic);
+    if (armed == 1) {
+        if (v > 900) {
+            send(v);
+            led(7);
+            armed = 0;
+            debounce = 5;
+        }
+    } else {
+        debounce = debounce - 1;
+        if (debounce <= 0) {
+            armed = 1;
+            led(0);
+        }
+    }
+    var burst = 0;
+    while (sense(acoustic) > 980 && burst < 8) {
+        burst = burst + 1;
+    }
+}
+"""
+
+CHANNELS = {"acoustic": (600.0, 190.0)}
+
+SPEC = register(
+    WorkloadSpec(
+        name="event-detect",
+        description="debounced rare-event detector with burst drain",
+        source=SOURCE,
+        channels=CHANNELS,
+    )
+)

@@ -1,0 +1,59 @@
+"""Input scenarios: how sensor channels behave during a profiling run.
+
+Every workload declares its channels as ``(mean, std)`` pairs; a *scenario*
+maps those to concrete stochastic processes:
+
+* ``default``  — iid Gaussian readings (the Markov model's assumptions hold);
+* ``uniform``  — iid uniform over the full ADC range (maximum entropy);
+* ``bursty``   — two-regime switching around the declared mean (F6);
+* ``drifting`` — slow sinusoidal drift of the mean (F6);
+* ``correlated`` — AR(1) with strong autocorrelation (F6).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import WorkloadError
+from repro.mote.sensors import (
+    AR1Sensor,
+    BurstySensor,
+    DiurnalSensor,
+    IIDSensor,
+    Sensor,
+    SensorSuite,
+    UniformSensor,
+)
+from repro.util.rng import RngSource
+
+__all__ = ["SCENARIOS", "build_sensors"]
+
+SCENARIOS = ("default", "uniform", "bursty", "drifting", "correlated")
+
+
+def _sensor_for(scenario: str, mean: float, std: float) -> Sensor:
+    if scenario == "default":
+        return IIDSensor(mean, std)
+    if scenario == "uniform":
+        return UniformSensor(0, 1023)
+    if scenario == "bursty":
+        burst_mean = min(mean + 2.5 * max(std, 40.0), 1000.0)
+        return BurstySensor(mean, burst_mean, std, p_enter=0.03, p_exit=0.15)
+    if scenario == "drifting":
+        return DiurnalSensor(mean, max(0.35 * mean, 60.0), period_reads=600, std=std)
+    if scenario == "correlated":
+        return AR1Sensor(mean, std, rho=0.95)
+    raise WorkloadError(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
+
+
+def build_sensors(
+    channels: Mapping[str, tuple[float, float]],
+    scenario: str = "default",
+    rng: RngSource = None,
+) -> SensorSuite:
+    """Instantiate a workload's channels under ``scenario``."""
+    sensors = {
+        name: _sensor_for(scenario, mean, std)
+        for name, (mean, std) in channels.items()
+    }
+    return SensorSuite(sensors, rng=rng)

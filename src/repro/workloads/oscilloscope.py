@@ -1,0 +1,45 @@
+"""Oscilloscope: buffered sampling with a batch flush every 16 readings.
+
+The flush procedure's counted loop is the canonical high-trip-count shape:
+its header branch continues with probability 16/17, exactly the geometric
+regime where backward-taken static prediction and placement matter most.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = """
+# Oscilloscope: buffer 16 readings, flush them as a batch.
+global idx = 0;
+array buffer[16];
+
+proc flush() {
+    var i = 0;
+    while (i < 16) {
+        send(buffer[i]);
+        i = i + 1;
+    }
+    idx = 0;
+}
+
+proc main() {
+    var v = sense(adc);
+    buffer[idx] = v;
+    idx = idx + 1;
+    if (idx >= 16) {
+        flush();
+    }
+}
+"""
+
+CHANNELS = {"adc": (500.0, 150.0)}
+
+SPEC = register(
+    WorkloadSpec(
+        name="oscilloscope",
+        description="buffered sampling with batch flush (counted loop)",
+        source=SOURCE,
+        channels=CHANNELS,
+    )
+)

@@ -1,0 +1,76 @@
+"""Workload registry: one place to enumerate the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import WorkloadError
+from repro.ir.program import Program
+from repro.mote.sensors import SensorSuite
+from repro.util.rng import RngSource
+from repro.workloads.inputs import build_sensors
+
+__all__ = ["WorkloadSpec", "register", "all_workloads", "workload_by_name"]
+
+_REGISTRY: dict[str, "WorkloadSpec"] = {}
+
+
+@dataclass
+class WorkloadSpec:
+    """One benchmark application: source, channels, and factories."""
+
+    name: str
+    description: str
+    source: str
+    channels: Mapping[str, tuple[float, float]]
+    entry: str = "main"
+    _compiled: Optional[Program] = field(default=None, repr=False, compare=False)
+
+    def program(self) -> Program:
+        """Compile (once) and return the IR program."""
+        if self._compiled is None:
+            from repro.lang import compile_source
+
+            self._compiled = compile_source(self.source, name=self.name, entry=self.entry)
+        return self._compiled
+
+    def sensors(self, scenario: str = "default", rng: RngSource = None) -> SensorSuite:
+        """A fresh sensor suite for one run (seed it for reproducibility)."""
+        return build_sensors(self.channels, scenario=scenario, rng=rng)
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload to the suite; duplicate names raise."""
+    if spec.name in _REGISTRY:
+        raise WorkloadError(f"workload {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_loaded() -> None:
+    # Import the workload modules for their registration side effect.
+    from repro.workloads import (  # noqa: F401
+        blink,
+        event_detect,
+        oscilloscope,
+        sense_app,
+        surge,
+        tinydb_agg,
+    )
+
+
+def all_workloads() -> list[WorkloadSpec]:
+    """Every registered workload, in a stable name order."""
+    _ensure_loaded()
+    return [spec for _, spec in sorted(_REGISTRY.items())]
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up one workload; raises with the known names on a miss."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None

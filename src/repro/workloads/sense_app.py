@@ -1,0 +1,49 @@
+"""Sense: read a sensor, classify it, display it, report sustained highs.
+
+The classic TinyOS Sense application shape: a pure classification callee
+with two skewed early-return branches, and a caller that counts consecutive
+high readings into a reporting threshold.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = """
+# Sense: classify readings, count sustained highs, report every tenth.
+global high_count = 0;
+
+proc classify(v) {
+    if (v > 768) {
+        return 2;
+    }
+    if (v > 384) {
+        return 1;
+    }
+    return 0;
+}
+
+proc main() {
+    var v = sense(light);
+    var c = classify(v);
+    led(c);
+    if (c == 2) {
+        high_count = high_count + 1;
+        if (high_count >= 10) {
+            send(v);
+            high_count = 0;
+        }
+    }
+}
+"""
+
+CHANNELS = {"light": (520.0, 210.0)}
+
+SPEC = register(
+    WorkloadSpec(
+        name="sense",
+        description="read-classify-display with an alert counter",
+        source=SOURCE,
+        channels=CHANNELS,
+    )
+)

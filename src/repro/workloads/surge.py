@@ -1,0 +1,55 @@
+"""Surge: collection-style forwarding with link-quality gating and retries.
+
+Mimics the multihop collection demo: an EWMA of link quality gates whether a
+queued reading is forwarded; failures retry up to three times.  Exercises a
+value-returning callee inside a loop condition's body and a compound
+(eagerly-evaluated) loop guard.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = """
+# Surge: forward readings over a lossy link with retries.
+global parent_quality = 512;
+global backlog = 0;
+
+proc link_ok() {
+    var q = sense(rssi);
+    parent_quality = parent_quality - (parent_quality >> 3) + (q >> 3);
+    if (parent_quality > 480) {
+        return 1;
+    }
+    return 0;
+}
+
+proc main() {
+    var v = sense(adc);
+    backlog = backlog + 1;
+    if (v > 850) {
+        send(v);
+        led(4);
+    }
+    var retries = 0;
+    while (backlog > 0 && retries < 3) {
+        if (link_ok() == 1) {
+            send(v);
+            backlog = backlog - 1;
+        } else {
+            retries = retries + 1;
+        }
+    }
+}
+"""
+
+CHANNELS = {"adc": (500.0, 170.0), "rssi": (520.0, 160.0)}
+
+SPEC = register(
+    WorkloadSpec(
+        name="surge",
+        description="collection-style forwarding with link gating and retries",
+        source=SOURCE,
+        channels=CHANNELS,
+    )
+)

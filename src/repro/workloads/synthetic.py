@@ -1,0 +1,186 @@
+"""Synthetic workload and estimation-problem generators.
+
+Two generators serve the parameter sweeps:
+
+* :func:`random_workload` emits a *runnable* TinyScript program whose branch
+  conditions test uniform sensor channels against thresholds, so every
+  generated branch has a known target probability by construction (the
+  empirical ground truth still comes from the simulator's counters);
+* :func:`random_estimation_problem` builds a bare IR procedure with
+  controlled structure (diamonds and loops with random block costs) plus its
+  true parameter vector — the fastest way to sweep estimator accuracy over
+  thousands of configurations without running the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.ir.builder import CFGBuilder
+from repro.ir.instructions import const, nop
+from repro.ir.procedure import Procedure
+from repro.ir.validate import validate_cfg
+from repro.markov.builders import BranchParameterization
+from repro.util.rng import RngSource, as_rng
+
+__all__ = ["SyntheticWorkload", "random_workload", "random_estimation_problem"]
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A generated TinyScript program plus its channel declarations."""
+
+    name: str
+    source: str
+    channels: dict[str, tuple[float, float]]
+    target_thetas: tuple[float, ...]  # generation targets, in source order
+
+    def program(self):
+        """Compile the generated source."""
+        from repro.lang import compile_source
+
+        return compile_source(self.source, name=self.name)
+
+    def sensors(self, rng: RngSource = None):
+        """Uniform sensors on every channel (matching the known targets)."""
+        from repro.mote.sensors import SensorSuite, UniformSensor
+
+        return SensorSuite(
+            {name: UniformSensor(0, 1023) for name in self.channels}, rng=rng
+        )
+
+
+def _threshold_for(probability: float) -> int:
+    """ADC threshold t so that P(uniform reading > t) ≈ ``probability``."""
+    return int(round(1023 - probability * 1024))
+
+
+def random_workload(
+    rng: RngSource = None,
+    n_branches: int = 5,
+    loop_probability: float = 0.35,
+    max_loop_continue: float = 0.85,
+    name: str = "synthetic",
+) -> SyntheticWorkload:
+    """Generate a single-procedure program with ``n_branches`` decisions.
+
+    Each decision is either an ``if``/``else`` diamond or a ``while`` loop;
+    conditions read fresh uniform channels so outcomes are iid — the regime
+    where the Markov execution model is exact.
+
+    Structure ``i`` carries ``i + 1`` body statements on top of its random
+    work, so no two structures have identical cost signatures: cost-identical
+    structures are *exchangeable* in the end-to-end timing distribution and
+    therefore unidentifiable for any timing-only estimator (a symmetry the
+    identifiability analysis documents; realistic code rarely exhibits it).
+    """
+    if n_branches < 1:
+        raise WorkloadError(f"n_branches must be >= 1, got {n_branches}")
+    gen = as_rng(rng)
+    lines: list[str] = ["proc main() {", "    var acc = 0;"]
+    channels: dict[str, tuple[float, float]] = {}
+    targets: list[float] = []
+
+    for i in range(n_branches):
+        channel = f"ch{i}"
+        channels[channel] = (512.0, 295.0)  # documented as uniform in sensors()
+        is_loop = gen.random() < loop_probability
+        distinct = i + 1  # structure-indexed statement count: breaks cost ties
+        if is_loop:
+            p = float(gen.uniform(0.2, max_loop_continue))
+            body_work = int(gen.integers(1, 4)) + distinct
+            lines.append(f"    while (sense({channel}) > {_threshold_for(p)}) {{")
+            for j in range(body_work):
+                lines.append(f"        acc = acc + {int(gen.integers(1, 9))};")
+            lines.append("    }")
+        else:
+            p = float(gen.uniform(0.08, 0.92))
+            lines.append(f"    if (sense({channel}) > {_threshold_for(p)}) {{")
+            for j in range(int(gen.integers(1, 4)) + distinct):
+                lines.append(f"        acc = acc * {int(gen.integers(2, 5))} + {i};")
+            lines.append("    } else {")
+            for j in range(int(gen.integers(1, 3))):
+                lines.append(f"        acc = acc - {int(gen.integers(1, 7))};")
+            lines.append("    }")
+        targets.append(p)
+    lines.append("    led(acc & 7);")
+    lines.append("}")
+    return SyntheticWorkload(
+        name=name,
+        source="\n".join(lines),
+        channels=channels,
+        target_thetas=tuple(targets),
+    )
+
+
+def _pad_block(builder: CFGBuilder, cycles: int) -> None:
+    """Emit ``cycles`` worth of single-cycle filler into the current block."""
+    builder.emit(*(nop() for _ in range(max(cycles, 1))))
+
+
+def random_estimation_problem(
+    rng: RngSource = None,
+    n_branches: int = 3,
+    loop_fraction: float = 0.4,
+    cost_range: tuple[int, int] = (10, 120),
+    max_loop_continue: float = 0.85,
+    name: str = "synthetic_proc",
+) -> tuple[Procedure, np.ndarray]:
+    """Generate a bare procedure and its true theta (parameter order).
+
+    The procedure is a sequence of ``n_branches`` random structures —
+    if/else diamonds with differently-priced arms, or while loops with a
+    priced body — padded with single-cycle filler to hit per-block costs
+    drawn from ``cost_range``.  True probabilities are drawn uniformly
+    (loops capped at ``max_loop_continue`` to keep trip counts sane).
+    """
+    if n_branches < 1:
+        raise WorkloadError(f"n_branches must be >= 1, got {n_branches}")
+    lo, hi = cost_range
+    if not 1 <= lo <= hi:
+        raise WorkloadError(f"cost_range must satisfy 1 <= lo <= hi, got {cost_range}")
+    gen = as_rng(rng)
+
+    builder = CFGBuilder(name)
+    builder.emit(const("c", 1))
+    _pad_block(builder, int(gen.integers(lo, hi + 1)))
+    true_by_label: dict[str, float] = {}
+
+    for i in range(n_branches):
+        is_loop = gen.random() < loop_fraction
+        if is_loop:
+            p = float(gen.uniform(0.2, max_loop_continue))
+            header_label = builder.fresh_label("loop")
+            builder.jump(header_label)
+            header = builder.block(header_label)
+            _pad_block(builder, int(gen.integers(lo, hi + 1)))
+            body_blk, exit_blk = builder.branch("c")
+            true_by_label[header.label] = p
+            _pad_block(builder, int(gen.integers(lo, hi + 1)))
+            builder.jump(header_label)
+            builder.switch_to(exit_blk)
+            _pad_block(builder, int(gen.integers(1, lo + 1)))
+        else:
+            p = float(gen.uniform(0.08, 0.92))
+            cond_label = builder.current.label if builder.current else None
+            assert cond_label is not None
+            then_blk, else_blk = builder.branch("c")
+            true_by_label[cond_label] = p
+            join_label = builder.fresh_label("join")
+            _pad_block(builder, int(gen.integers(lo, hi + 1)))
+            builder.jump(join_label)
+            builder.switch_to(else_blk)
+            _pad_block(builder, int(gen.integers(lo, hi + 1)))
+            builder.jump(join_label)
+            builder.block(join_label)
+            _pad_block(builder, int(gen.integers(1, lo + 1)))
+    builder.ret()
+    procedure = builder.build()
+    validate_cfg(procedure.cfg, name)
+
+    par = BranchParameterization(procedure.cfg)
+    theta = np.array([true_by_label[label] for label in par.branch_labels])
+    return procedure, theta

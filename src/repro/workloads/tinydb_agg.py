@@ -1,0 +1,59 @@
+"""TinyDB-style windowed aggregation with a HAVING clause.
+
+A sliding window of eight readings is aggregated once full: sum, max, and
+two report predicates.  The aggregation loop's max-update branch has a
+*position-dependent* true probability (a fresh reading beats the running max
+of ``i`` values with probability ≈ 1/(i+1)), so the single Markov parameter
+is a genuine approximation — useful for stressing model fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = """
+# TinyDB-style query: SELECT avg(temp), max(temp) WINDOW 8 HAVING max > 700.
+global epoch = 0;
+array window[8];
+
+proc aggregate() {
+    var i = 0;
+    var maxv = 0;
+    var sum = 0;
+    while (i < 8) {
+        var x = window[i];
+        sum = sum + x;
+        if (x > maxv) {
+            maxv = x;
+        }
+        i = i + 1;
+    }
+    if (maxv > 700) {
+        send(maxv);
+    }
+    return sum >> 3;
+}
+
+proc main() {
+    var v = sense(temp);
+    window[epoch & 7] = v;
+    epoch = epoch + 1;
+    if ((epoch & 7) == 0) {
+        var avg = aggregate();
+        if (avg > 600) {
+            send(avg);
+        }
+    }
+}
+"""
+
+CHANNELS = {"temp": (560.0, 160.0)}
+
+SPEC = register(
+    WorkloadSpec(
+        name="tinydb-agg",
+        description="windowed aggregation query with HAVING clause",
+        source=SOURCE,
+        channels=CHANNELS,
+    )
+)

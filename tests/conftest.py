@@ -1,0 +1,102 @@
+"""Shared fixtures: platforms, small programs, and compiled workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import BinaryOp, CFGBuilder, binop, const, sense, validate_cfg
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, TELOSB_LIKE, IIDSensor, SensorSuite, TimestampTimer, UniformSensor
+
+
+@pytest.fixture
+def platform():
+    """The default (micaz-like) platform."""
+    return MICAZ_LIKE
+
+
+@pytest.fixture
+def fine_platform():
+    """Micaz-like platform with an exact cycle-counter timer."""
+    return MICAZ_LIKE.with_timer(TimestampTimer(cycles_per_tick=1))
+
+
+@pytest.fixture
+def telosb():
+    """The alternative platform preset."""
+    return TELOSB_LIKE
+
+
+def build_diamond_procedure(then_cost_pad: int = 5, else_cost_pad: int = 20):
+    """One if/else diamond with differently priced arms.
+
+    Returns ``(procedure, labels)`` where labels is (then, else) block names.
+    """
+    from repro.ir import nop
+
+    b = CFGBuilder("diamond")
+    b.emit(sense("v", "adc0"), const("t", 100), binop(BinaryOp.GT, "hot", "v", "t"))
+    then_blk, else_blk = b.branch("hot")
+    b.emit(*(nop() for _ in range(then_cost_pad)))
+    b.jump("join")
+    b.switch_to(else_blk)
+    b.emit(*(nop() for _ in range(else_cost_pad)))
+    b.jump("join")
+    b.block("join")
+    b.ret()
+    proc = b.build()
+    validate_cfg(proc.cfg, "diamond")
+    return proc, (then_blk.label, else_blk.label)
+
+
+@pytest.fixture
+def diamond_procedure():
+    """An if/else diamond procedure with 5- vs 20-cycle arm padding."""
+    proc, _ = build_diamond_procedure()
+    return proc
+
+
+DEMO_SOURCE = """
+proc work(v) {
+    var acc = 0;
+    if (v > 512) {
+        acc = v * 3;
+        send(acc);
+    } else {
+        acc = v + 1;
+    }
+    return acc;
+}
+
+proc main() {
+    var v = sense(adc0);
+    var r = work(v);
+    while (sense(adc1) > 700) {
+        led(1);
+    }
+    led(0);
+}
+"""
+
+
+@pytest.fixture
+def demo_program():
+    """A two-procedure program with a call, a diamond, and a loop."""
+    return compile_source(DEMO_SOURCE, "demo")
+
+
+@pytest.fixture
+def demo_sensors():
+    """Seeded sensors for the demo program."""
+    return SensorSuite(
+        {"adc0": IIDSensor(560, 200), "adc1": IIDSensor(560, 200)}, rng=7
+    )
+
+
+@pytest.fixture
+def uniform_sensors():
+    """Seeded uniform sensors on the demo channels."""
+    return SensorSuite(
+        {"adc0": UniformSensor(), "adc1": UniformSensor()}, rng=13
+    )

@@ -1,0 +1,135 @@
+"""Tests for RAM-budgeted hook planning and the estimation report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CodeTomography, EstimationOptions, render_estimation_report
+from repro.core.report import estimation_report
+from repro.errors import ProfilingError
+from repro.mote import MICAZ_LIKE
+from repro.profiling import (
+    TimingProfiler,
+    apply_plan,
+    plan_hooks,
+)
+from repro.profiling.overhead import TIMING_RAM_BYTES_PER_PROC
+from repro.sim import run_program
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def surge_setup():
+    spec = workload_by_name("surge")
+    prog = spec.program()
+    result = run_program(prog, MICAZ_LIKE, spec.sensors(rng=5), activations=1000)
+    dataset = TimingProfiler(MICAZ_LIKE, rng=6).collect(result.records)
+    return prog, result, dataset
+
+
+class TestPlanHooks:
+    def test_unlimited_budget_selects_all_branchy_procedures(self, surge_setup):
+        prog, _, _ = surge_setup
+        plan = plan_hooks(prog, ram_budget_bytes=10_000)
+        branchy = {p.name for p in prog if p.branch_count() > 0}
+        assert set(plan.selected) == branchy
+        assert plan.coverage == 1.0
+
+    def test_zero_budget_selects_nothing(self, surge_setup):
+        prog, _, _ = surge_setup
+        plan = plan_hooks(prog, ram_budget_bytes=0)
+        assert plan.selected == ()
+        assert plan.coverage == 0.0
+        assert plan.ram_bytes == 0
+
+    def test_tight_budget_prefers_more_parameters(self, surge_setup):
+        prog, _, _ = surge_setup
+        # Budget for exactly one hook: main (3 branches) beats link_ok (1).
+        plan = plan_hooks(prog, ram_budget_bytes=TIMING_RAM_BYTES_PER_PROC)
+        assert plan.selected == ("main",)
+        assert plan.covered_parameters == 3
+
+    def test_weights_break_ties(self):
+        from repro.lang import compile_source
+
+        prog = compile_source(
+            """
+            proc a(v) { if (v > 1) { send(v); } return 0; }
+            proc b(v) { if (v > 2) { send(v); } return 0; }
+            proc main() {
+                var v = sense(s);
+                var x = a(v);
+                var y = b(v);
+                led(x + y);
+            }
+            """
+        )
+        budget = TIMING_RAM_BYTES_PER_PROC
+        hot_b = plan_hooks(prog, budget, invocation_weights={"a": 1.0, "b": 9.0})
+        assert hot_b.selected == ("b",)
+        hot_a = plan_hooks(prog, budget, invocation_weights={"a": 9.0, "b": 1.0})
+        assert hot_a.selected == ("a",)
+
+    def test_ram_accounting(self, surge_setup):
+        prog, _, _ = surge_setup
+        plan = plan_hooks(prog, ram_budget_bytes=10_000)
+        assert plan.ram_bytes == len(plan.selected) * TIMING_RAM_BYTES_PER_PROC
+
+    def test_negative_budget_rejected(self, surge_setup):
+        prog, _, _ = surge_setup
+        with pytest.raises(ProfilingError):
+            plan_hooks(prog, ram_budget_bytes=-1)
+
+
+class TestApplyPlan:
+    def test_filtered_dataset_only_has_selected(self, surge_setup):
+        prog, _, dataset = surge_setup
+        plan = plan_hooks(prog, ram_budget_bytes=TIMING_RAM_BYTES_PER_PROC)
+        restricted = apply_plan(dataset, plan)
+        assert restricted.procedures() == ["main"]
+        assert restricted.count("link_ok") == 0
+
+    def test_estimation_degrades_gracefully_under_plan(self, surge_setup):
+        prog, result, dataset = surge_setup
+        plan = plan_hooks(prog, ram_budget_bytes=TIMING_RAM_BYTES_PER_PROC)
+        restricted = apply_plan(dataset, plan)
+        estimate = CodeTomography(prog, MICAZ_LIKE).estimate(
+            restricted, EstimationOptions(method="moments", seed=1)
+        )
+        # The un-hooked callee falls back to the prior, with a warning.
+        assert np.all(estimate.thetas["link_ok"] == 0.5)
+        assert any("no timing samples" in w for w in estimate.warnings)
+        # The hooked procedure still produces a real estimate.
+        assert estimate.estimate_for("main").method == "moments"
+
+
+class TestEstimationReport:
+    def test_report_has_one_row_per_branch(self, surge_setup):
+        prog, result, dataset = surge_setup
+        estimate = CodeTomography(prog, MICAZ_LIKE).estimate(
+            dataset, EstimationOptions(method="moments", seed=1)
+        )
+        table = estimation_report(prog, estimate)
+        total_branches = sum(p.branch_count() for p in prog)
+        assert len(table.rows) == total_branches
+
+    def test_report_with_truth_includes_errors(self, surge_setup):
+        prog, result, dataset = surge_setup
+        estimate = CodeTomography(prog, MICAZ_LIKE).estimate(
+            dataset, EstimationOptions(method="moments", seed=1)
+        )
+        truth = {p.name: result.counters.true_branch_probabilities(p) for p in prog}
+        table = estimation_report(prog, estimate, truth)
+        assert "abs_err" in table.columns
+        errors = [float(v) for v in table.column("abs_err")]
+        assert all(0.0 <= e <= 1.0 for e in errors)
+
+    def test_rendered_report_includes_warnings(self, surge_setup):
+        prog, _, _ = surge_setup
+        from repro.profiling import TimingDataset
+
+        estimate = CodeTomography(prog, MICAZ_LIKE).estimate(TimingDataset({}))
+        text = render_estimation_report(prog, estimate)
+        assert "warnings:" in text
+        assert "no timing samples" in text

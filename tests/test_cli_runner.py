@@ -1,0 +1,47 @@
+"""Tests for the repro-experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(out) == sorted(ALL_EXPERIMENTS)
+
+    def test_no_arguments_is_an_error(self, capsys):
+        assert main([]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_unknown_id_is_an_error(self, capsys):
+        assert main(["zz"]) == 2
+        err = capsys.readouterr().err
+        assert "zz" in err
+        assert "t1" in err  # lists the known ids
+
+    def test_runs_t1_quick(self, capsys):
+        assert main(["t1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark characteristics" in out
+        assert "blink" in out
+        assert "finished in" in out
+
+    def test_platform_selection(self, capsys):
+        assert main(["t1", "--quick", "--platform", "telosb"]) == 0
+        out = capsys.readouterr().out
+        assert "blink" in out
+
+    def test_multiple_experiments_in_one_invocation(self, capsys):
+        assert main(["t1", "f7", "--quick", "--activations", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out
+        assert "F7" in out
+
+    def test_bad_platform_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["t1", "--platform", "arduino"])

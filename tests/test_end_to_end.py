@@ -1,0 +1,128 @@
+"""Whole-pipeline integration tests: the paper's claims, end to end.
+
+These exercise the complete loop on a single program: simulate → collect
+timing-only measurements → estimate → optimize placement → re-simulate on
+fresh inputs → verify the misprediction rate dropped and tracks the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import program_estimation_error
+from repro.core import CodeTomography, EstimationOptions
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, TELOSB_LIKE, SensorSuite, UniformSensor
+from repro.placement import optimize_program_layout
+from repro.profiling import TimingProfiler
+from repro.sim import run_program
+
+APP_SOURCE = """
+# A small monitoring app with skewed, timing-visible branches.
+global alarm_count = 0;
+
+proc check(v) {
+    if (v > 921) {
+        send(v);
+        alarm_count = alarm_count + 1;
+        return 1;
+    }
+    return 0;
+}
+
+proc main() {
+    var v = sense(adc0);
+    var alarmed = check(v);
+    if (alarmed == 1) {
+        led(7);
+        send(alarm_count);
+    } else {
+        led(0);
+    }
+    while (sense(adc1) > 818) {
+        led(1);
+    }
+}
+"""
+
+
+def fresh_sensors(seed: int) -> SensorSuite:
+    return SensorSuite({"adc0": UniformSensor(), "adc1": UniformSensor()}, rng=seed)
+
+
+@pytest.fixture(scope="module", params=["micaz", "telosb"])
+def pipeline(request):
+    platform = MICAZ_LIKE if request.param == "micaz" else TELOSB_LIKE
+    prog = compile_source(APP_SOURCE, "monitor")
+    profile_run = run_program(prog, platform, fresh_sensors(61), activations=4000)
+    dataset = TimingProfiler(platform, rng=62).collect(profile_run.records)
+    truth = {
+        p.name: profile_run.counters.true_branch_probabilities(p) for p in prog
+    }
+    estimate = CodeTomography(prog, platform).estimate(
+        dataset, EstimationOptions(method="hybrid", seed=63)
+    )
+    return platform, prog, profile_run, truth, estimate
+
+
+class TestFullLoop:
+    def test_estimation_accuracy(self, pipeline):
+        platform, prog, profile_run, truth, estimate = pipeline
+        assert program_estimation_error(estimate.thetas, truth, "mae") < 0.05
+
+    def test_placement_reduces_mispredictions_on_fresh_inputs(self, pipeline):
+        platform, prog, profile_run, truth, estimate = pipeline
+        layout = optimize_program_layout(prog, estimate.thetas)
+        baseline = run_program(prog, platform, fresh_sensors(99), activations=4000)
+        optimized = run_program(
+            prog, platform, fresh_sensors(99), activations=4000, layout=layout
+        )
+        assert (
+            optimized.counters.mispredict_rate < baseline.counters.mispredict_rate
+        )
+
+    def test_estimated_placement_tracks_oracle_placement(self, pipeline):
+        platform, prog, profile_run, truth, estimate = pipeline
+        est_layout = optimize_program_layout(prog, estimate.thetas)
+        oracle_layout = optimize_program_layout(prog, truth)
+        est_run = run_program(
+            prog, platform, fresh_sensors(99), activations=4000, layout=est_layout
+        )
+        oracle_run = run_program(
+            prog, platform, fresh_sensors(99), activations=4000, layout=oracle_layout
+        )
+        assert est_run.counters.mispredict_rate <= oracle_run.counters.mispredict_rate + 0.02
+
+    def test_placement_never_slows_the_program_down_materially(self, pipeline):
+        platform, prog, profile_run, truth, estimate = pipeline
+        layout = optimize_program_layout(prog, estimate.thetas)
+        baseline = run_program(prog, platform, fresh_sensors(99), activations=4000)
+        optimized = run_program(
+            prog, platform, fresh_sensors(99), activations=4000, layout=layout
+        )
+        assert optimized.cycles_per_activation <= baseline.cycles_per_activation * 1.01
+
+
+class TestCrossPlatformConsistency:
+    def test_truth_is_platform_independent(self):
+        # Branch probabilities are a property of the program + inputs, not of
+        # cycle costs: both platforms must measure the same ground truth.
+        prog = compile_source(APP_SOURCE, "monitor2")
+        truths = []
+        for platform in (MICAZ_LIKE, TELOSB_LIKE):
+            result = run_program(prog, platform, fresh_sensors(7), activations=2000)
+            truths.append(
+                np.concatenate(
+                    [result.counters.true_branch_probabilities(p) for p in prog]
+                )
+            )
+        assert np.allclose(truths[0], truths[1])
+
+    def test_cycle_costs_differ_across_platforms(self):
+        prog = compile_source(APP_SOURCE, "monitor3")
+        cycles = []
+        for platform in (MICAZ_LIKE, TELOSB_LIKE):
+            result = run_program(prog, platform, fresh_sensors(7), activations=500)
+            cycles.append(result.total_cycles)
+        assert cycles[0] != cycles[1]

@@ -1,0 +1,190 @@
+"""Integration tests: every experiment runs in quick mode and its headline
+qualitative claim (the paper's "shape") holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig(quick=True, seed=2015)
+
+
+@pytest.fixture(scope="module")
+def results(quick_config):
+    # Run each experiment once for the whole module; individual tests then
+    # assert on different aspects of the same outputs.
+    return {exp_id: fn(quick_config) for exp_id, fn in ALL_EXPERIMENTS.items()}
+
+
+class TestHarness:
+    def test_every_experiment_produces_a_table(self, results):
+        for exp_id, result in results.items():
+            assert result.experiment_id == exp_id
+            assert result.tables, exp_id
+            assert result.tables[0].rows, exp_id
+
+    def test_render_is_printable(self, results):
+        for result in results.values():
+            text = result.render()
+            assert result.title in text
+
+
+class TestT1Shapes:
+    def test_every_workload_listed(self, results):
+        assert len(results["t1"].tables[0].rows) == 6
+
+    def test_suite_spans_loops_and_calls(self, results):
+        table = results["t1"].tables[0]
+        loops = [int(v) for v in table.column("loops")]
+        calls = [int(v) for v in table.column("calls")]
+        assert sum(loops) >= 3
+        assert sum(calls) >= 3
+
+
+class TestT2Shapes:
+    def test_tomography_runtime_below_instrumentation_per_workload(self, results):
+        series = results["t2"].series
+        by_key = {}
+        for wl, scheme, pct in zip(
+            series["workload"], series["scheme"], series["runtime_pct"]
+        ):
+            by_key[(wl, scheme)] = pct
+        workloads = sorted({wl for wl, _ in by_key})
+        for wl in workloads:
+            assert (
+                by_key[(wl, "code-tomography")] < by_key[(wl, "edge-instrumentation")]
+            ), wl
+
+
+class TestT3Shapes:
+    def test_variance_moment_helps_over_mean_only(self, results):
+        series = results["t3"].series
+        errors = {}
+        for suite, variant, mae in zip(
+            series["suite"], series["variant"], series["mae"]
+        ):
+            errors[(suite, variant)] = mae
+        assert errors[("synthetic", "moments-2")] < errors[("synthetic", "moments-1")]
+
+
+class TestF1Shapes:
+    def test_tomography_beats_sampling_on_aggregate(self, results):
+        series = results["f1"].series
+        tomo = [
+            mae
+            for est, mae in zip(series["estimator"], series["mae"])
+            if est == "code-tomography"
+        ]
+        sampling = [
+            mae
+            for est, mae in zip(series["estimator"], series["mae"])
+            if est == "pc-sampling"
+        ]
+        assert np.mean(tomo) < np.mean(sampling)
+
+    def test_tomography_is_accurate_on_most_workloads(self, results):
+        series = results["f1"].series
+        tomo = [
+            mae
+            for est, mae in zip(series["estimator"], series["mae"])
+            if est == "code-tomography"
+        ]
+        assert sum(1 for m in tomo if m < 0.10) >= 4
+
+
+class TestF2Shapes:
+    def test_error_improves_with_samples(self, results):
+        series = results["f2"].series
+        for workload in set(series["workload"]):
+            points = sorted(
+                (n, mae)
+                for wl, n, mae in zip(
+                    series["workload"], series["samples"], series["mae"]
+                )
+                if wl == workload
+            )
+            first, last = points[0][1], points[-1][1]
+            assert last <= first + 0.02, workload
+
+
+class TestF3Shapes:
+    def test_error_grows_with_coarser_timer(self, results):
+        series = results["f3"].series
+        for workload in set(series["workload"]):
+            clean = [
+                (cpt, mae)
+                for wl, cpt, jitter, mae in zip(
+                    series["workload"],
+                    series["cycles_per_tick"],
+                    series["jitter"],
+                    series["mae"],
+                )
+                if wl == workload and jitter == 0.0
+            ]
+            clean.sort()
+            assert clean[0][1] <= clean[-1][1] + 0.02, workload
+
+
+class TestF4Shapes:
+    def test_tomography_tracks_oracle(self, results):
+        series = results["f4"].series
+        rows = list(
+            zip(
+                series["workload"],
+                series["predictor"],
+                series["strategy"],
+                series["mispredict_rate"],
+            )
+        )
+        by_key = {(w, p, s): r for w, p, s, r in rows}
+        gaps = [
+            by_key[(w, p, "tomography")] - by_key[(w, p, "oracle")]
+            for (w, p, s) in by_key
+            if s == "oracle"
+        ]
+        assert np.mean(gaps) < 0.05
+
+    def test_tomography_beats_source_order_on_aggregate(self, results):
+        series = results["f4"].series
+        rows = list(
+            zip(series["workload"], series["predictor"], series["strategy"], series["mispredict_rate"])
+        )
+        tomo = np.mean([r for _, _, s, r in rows if s == "tomography"])
+        source = np.mean([r for _, _, s, r in rows if s == "source-order"])
+        assert tomo < source
+
+
+class TestF5Shapes:
+    def test_tomography_speedup_matches_oracle(self, results):
+        series = results["f5"].series
+        by_key = {}
+        for wl, strategy, speedup in zip(
+            series["workload"], series["strategy"], series["speedup"]
+        ):
+            by_key[(wl, strategy)] = speedup
+        workloads = sorted({wl for wl, _ in by_key})
+        for wl in workloads:
+            assert by_key[(wl, "tomography")] >= 0.97 * by_key[(wl, "oracle")], wl
+
+    def test_aggregate_speedup_positive(self, results):
+        series = results["f5"].series
+        tomo = [
+            s
+            for strat, s in zip(series["strategy"], series["speedup"])
+            if strat == "tomography"
+        ]
+        assert np.mean(tomo) > 1.0
+
+
+class TestF6Shapes:
+    def test_placement_still_helps_under_mismatch(self, results):
+        series = results["f6"].series
+        # Improvement = source mispredict - tomography mispredict, per row.
+        assert np.mean(series["improvement"]) > 0.0

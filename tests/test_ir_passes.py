@@ -1,0 +1,223 @@
+"""Tests for the IR cleanup passes, including differential execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import validate_program
+from repro.ir.instructions import Branch, Jump, Opcode
+from repro.ir.passes import (
+    fold_constants,
+    remove_unreachable_blocks,
+    simplify_branches,
+    simplify_procedure,
+    simplify_program,
+    thread_jumps,
+)
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, SensorSuite, UniformSensor
+from repro.sim import run_program
+
+
+def compile_main(body: str):
+    return compile_source(f"proc main() {{\n{body}\n}}")
+
+
+class TestFoldConstants:
+    def test_folds_arithmetic_chain(self):
+        prog = compile_main("var x = 2 + 3 * 4; led(x);")
+        main = prog.procedure("main")
+        assert fold_constants(main) > 0
+        opcodes = [i.opcode for i in main.cfg.entry_block.instructions]
+        assert Opcode.BINOP not in opcodes
+
+    def test_preserves_division_by_zero_trap(self):
+        prog = compile_main("var z = 0; var x = 5 / z; led(x);")
+        main = prog.procedure("main")
+        fold_constants(main)
+        opcodes = [i.opcode for i in main.cfg.entry_block.instructions]
+        assert Opcode.BINOP in opcodes  # the trap must survive
+
+    def test_wraps_to_sixteen_bits(self):
+        prog = compile_main("var x = 30000 + 30000; led(x);")
+        main = prog.procedure("main")
+        fold_constants(main)
+        consts = [
+            i.imm
+            for i in main.cfg.entry_block.instructions
+            if i.opcode is Opcode.CONST
+        ]
+        assert 30000 + 30000 - 65536 in consts
+
+    def test_does_not_fold_across_sense(self):
+        prog = compile_main("var v = sense(a); var x = v + 1; led(x);")
+        main = prog.procedure("main")
+        fold_constants(main)
+        opcodes = [i.opcode for i in main.cfg.entry_block.instructions]
+        assert Opcode.BINOP in opcodes  # v is runtime data
+
+    def test_calls_invalidate_globals_not_temps(self):
+        prog = compile_source(
+            """
+            global g = 1;
+            proc bump() { g = g + 1; }
+            proc main() {
+                g = 5;
+                bump();
+                var x = g + 1;   # must NOT fold: bump() changed g
+                led(x);
+            }
+            """
+        )
+        main = prog.procedure("main")
+        fold_constants(main)
+        binops = [
+            i
+            for b in main.cfg
+            for i in b.instructions
+            if i.opcode is Opcode.BINOP
+        ]
+        assert binops, "g + 1 must remain a runtime add"
+
+    def test_idempotent(self):
+        prog = compile_main("var x = 1 + 2 + 3; led(x);")
+        main = prog.procedure("main")
+        fold_constants(main)
+        assert fold_constants(main) == 0
+
+
+class TestSimplifyBranches:
+    def test_constant_true_condition_becomes_jump(self):
+        prog = compile_main("if (1 < 2) { led(1); } else { led(2); }")
+        main = prog.procedure("main")
+        fold_constants(main)
+        assert simplify_branches(main) == 1
+        assert not main.cfg.branch_blocks()
+
+    def test_constant_false_condition_takes_else(self):
+        prog = compile_main("if (2 < 1) { led(1); } else { led(2); }")
+        main = prog.procedure("main")
+        fold_constants(main)
+        simplify_branches(main)
+        simplify_procedure(main)
+        # After cleanup only the else path survives; execution shows led=2.
+        sensors = SensorSuite({"a": UniformSensor()}, rng=0)
+        from repro.sim import Interpreter
+
+        interp = Interpreter(prog, MICAZ_LIKE, sensors)
+        interp.run_activation()
+        assert interp.leds == 2
+
+    def test_data_dependent_branch_untouched(self):
+        prog = compile_main("if (sense(a) > 10) { led(1); }")
+        main = prog.procedure("main")
+        fold_constants(main)
+        assert simplify_branches(main) == 0
+        assert main.cfg.branch_blocks()
+
+
+class TestThreadJumpsAndDeadBlocks:
+    def test_threads_through_empty_forwarders(self):
+        # An empty if-arm produces a forwarding block; threading bypasses it.
+        prog = compile_main("if (sense(a) > 10) { led(1); }")
+        main = prog.procedure("main")
+        before_blocks = len(main.cfg)
+        changed = thread_jumps(main) + remove_unreachable_blocks(main)
+        assert changed > 0
+        assert len(main.cfg) < before_blocks
+        validate_program(prog)
+
+    def test_dead_blocks_removed_after_branch_simplification(self):
+        prog = compile_main("if (1 < 2) { led(1); } else { led(2); }")
+        main = prog.procedure("main")
+        simplify_procedure(main)
+        # The constant-false arm is unreachable and must be gone.
+        leds = [
+            i.srcs
+            for b in main.cfg
+            for i in b.instructions
+            if i.opcode is Opcode.LED
+        ]
+        assert len(main.cfg.return_blocks()) == 1
+        validate_program(prog)
+
+    def test_entry_block_never_removed(self):
+        prog = compile_main("led(1);")
+        main = prog.procedure("main")
+        assert remove_unreachable_blocks(main) == 0
+        assert main.cfg.entry in main.cfg
+
+
+class TestDifferentialExecution:
+    WORKING_SOURCE = """
+    global total = 0;
+    proc scale(v) {
+        var k = 2 + 1;          # foldable
+        return v * k;
+    }
+    proc main() {
+        var v = sense(a);
+        var w = scale(v);
+        if (1 == 1) {           # constant branch
+            total = total + w;
+        }
+        if (v > 700) {
+            send(total);
+        }
+        led(total & 7);
+    }
+    """
+
+    def run_once(self, prog, seed=9, activations=300):
+        sensors = SensorSuite({"a": UniformSensor()}, rng=seed)
+        return run_program(prog, MICAZ_LIKE, sensors, activations=activations)
+
+    def test_behaviour_preserved_and_cheaper(self):
+        original = compile_source(self.WORKING_SOURCE, "orig")
+        optimized = compile_source(self.WORKING_SOURCE, "opt")
+        assert simplify_program(optimized) > 0
+        validate_program(optimized)
+
+        a = self.run_once(original)
+        b = self.run_once(optimized)
+        # Same observable behaviour...
+        assert a.radio_packets == b.radio_packets
+        assert a.counters.sense_reads == b.counters.sense_reads
+        # ...at strictly lower cost (folded arithmetic + removed branch).
+        assert b.total_cycles < a.total_cycles
+
+    def test_all_workloads_survive_simplification(self):
+        from repro.workloads import all_workloads
+
+        for spec in all_workloads():
+            prog = compile_source(spec.source, f"{spec.name}-opt")
+            simplify_program(prog)
+            validate_program(prog)
+            result = run_program(
+                prog, MICAZ_LIKE, spec.sensors(rng=4), activations=100
+            )
+            assert result.total_cycles > 0
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_workload_behaviour_preserved(self, seed):
+        from repro.workloads import random_workload
+
+        sw = random_workload(rng=seed, n_branches=3)
+        original = compile_source(sw.source, "o")
+        optimized = compile_source(sw.source, "p")
+        simplify_program(optimized)
+        validate_program(optimized)
+        ra = run_program(original, MICAZ_LIKE, sw.sensors(rng=1), activations=60)
+        rb = run_program(optimized, MICAZ_LIKE, sw.sensors(rng=1), activations=60)
+        assert ra.counters.sense_reads == rb.counters.sense_reads
+        assert ra.radio_packets == rb.radio_packets
+        assert rb.total_cycles <= ra.total_cycles
+
+    def test_simplify_is_a_fixpoint(self):
+        prog = compile_source(self.WORKING_SOURCE, "fp")
+        simplify_program(prog)
+        assert simplify_program(prog) == 0

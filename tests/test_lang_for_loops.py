@@ -1,0 +1,107 @@
+"""Tests for the 'for' statement (sugar over while)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError, SemanticError
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, ConstantSensor, SensorSuite
+from repro.sim import Interpreter
+
+
+def run_main(src: str) -> Interpreter:
+    prog = compile_source(src)
+    interp = Interpreter(prog, MICAZ_LIKE, SensorSuite({"a": ConstantSensor(0)}, rng=0))
+    interp.run_activation()
+    return interp
+
+
+class TestForLoops:
+    def test_counted_loop(self):
+        interp = run_main(
+            "global s = 0; proc main() { for (var i = 0; i < 5; i = i + 1) { s = s + i; } }"
+        )
+        assert interp.globals["s"] == 10
+
+    def test_downward_loop(self):
+        interp = run_main(
+            "global s = 0; proc main() { for (var i = 5; i > 0; i = i - 1) { s = s + 1; } }"
+        )
+        assert interp.globals["s"] == 5
+
+    def test_init_clause_optional(self):
+        interp = run_main(
+            "global s = 0; proc main() { var i = 0; for (; i < 3; i = i + 1) { s = s + 2; } }"
+        )
+        assert interp.globals["s"] == 6
+
+    def test_step_clause_optional(self):
+        interp = run_main(
+            "global s = 0; proc main() { for (var i = 0; i < 3;) { i = i + 1; s = s + 1; } }"
+        )
+        assert interp.globals["s"] == 3
+
+    def test_index_assignment_in_clauses(self):
+        # Desugaring order: the step runs *after* each body, so with the body
+        # incrementing i, the steps observe i = 1, 2, 3.
+        interp = run_main(
+            """
+            array a[4];
+            global s = 0;
+            proc main() {
+                var i = 0;
+                for (a[0] = 7; i < 3; a[i] = i) {
+                    i = i + 1;
+                }
+                s = a[0] + a[1] + a[2] + a[3];
+            }
+            """
+        )
+        assert interp.arrays["a"] == [7, 1, 2, 3]
+        assert interp.globals["s"] == 13
+
+    def test_loop_desugars_to_while_structure(self):
+        prog = compile_source(
+            "proc main() { for (var i = 0; i < 4; i = i + 1) { led(i); } }"
+        )
+        main = prog.procedure("main")
+        assert main.cfg.loop_count() == 1
+        assert main.branch_count() == 1
+
+    def test_init_var_visible_after_loop(self):
+        # TinyScript has no block scoping: the induction variable persists.
+        interp = run_main(
+            "global s = 0; proc main() { for (var i = 0; i < 3; i = i + 1) { } s = i; }"
+        )
+        assert interp.globals["s"] == 3
+
+    def test_nested_for_loops(self):
+        interp = run_main(
+            """
+            global s = 0;
+            proc main() {
+                for (var i = 0; i < 3; i = i + 1) {
+                    for (var j = 0; j < 2; j = j + 1) {
+                        s = s + 1;
+                    }
+                    j = 0;
+                }
+            }
+            """
+        )
+        assert interp.globals["s"] == 6
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            compile_source("proc main() { for (var i = 0 i < 3; i = i + 1) { } }")
+
+    def test_var_not_allowed_in_step(self):
+        with pytest.raises(ParseError):
+            compile_source("proc main() { for (var i = 0; i < 3; var j = 1) { } }")
+
+    def test_duplicate_induction_variable_rejected(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            compile_source(
+                "proc main() { var i = 0; for (var i = 0; i < 3; i = i + 1) { } }"
+            )

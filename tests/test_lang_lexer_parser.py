@@ -1,0 +1,205 @@
+"""Tests for the TinyScript lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse, parse_expression
+from repro.lang.tokens import TokenKind
+
+
+def lex_kinds(src: str) -> list[str]:
+    return [t.kind.value for t in tokenize(src)]
+
+
+def expr(src: str) -> ast.Expr:
+    return parse_expression(tokenize(src))
+
+
+class TestLexer:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("proc process")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_integer_value(self):
+        tok = tokenize("1023")[0]
+        assert tok.kind is TokenKind.INT
+        assert tok.value == 1023
+
+    def test_two_char_operators_max_munch(self):
+        toks = tokenize("a <= b == c && d")
+        ops = [t.text for t in toks if t.kind is TokenKind.OP]
+        assert ops == ["<=", "==", "&&"]
+
+    def test_shift_operators(self):
+        ops = [t.text for t in tokenize("a << 2 >> 1") if t.kind is TokenKind.OP]
+        assert ops == ["<<", ">>"]
+
+    def test_comments_are_skipped(self):
+        toks = tokenize("x # a comment\ny // another\nz")
+        idents = [t.text for t in toks if t.kind is TokenKind.IDENT]
+        assert idents == ["x", "y", "z"]
+
+    def test_positions_are_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("x\n  $")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+    def test_malformed_number_raises(self):
+        with pytest.raises(LexError, match="malformed"):
+            tokenize("12abc")
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        e = expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = expr("(1 + 2) * 3")
+        assert isinstance(e, ast.Binary) and e.op == "*"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "+"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        e = expr("a + 1 > b * 2")
+        assert isinstance(e, ast.Binary) and e.op == ">"
+
+    def test_logical_binds_loosest(self):
+        e = expr("a > 1 && b < 2")
+        assert isinstance(e, ast.Binary) and e.op == "&&"
+
+    def test_left_associativity(self):
+        e = expr("a - b - c")
+        assert isinstance(e, ast.Binary) and e.op == "-"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "-"
+        assert isinstance(e.right, ast.VarRef) and e.right.name == "c"
+
+    def test_unary_nesting(self):
+        e = expr("--x")
+        assert isinstance(e, ast.Unary) and isinstance(e.operand, ast.Unary)
+
+    def test_not_operator(self):
+        e = expr("!a")
+        assert isinstance(e, ast.Unary) and e.op == "!"
+
+    def test_sense_expression(self):
+        e = expr("sense(adc0)")
+        assert isinstance(e, ast.SenseExpr) and e.channel == "adc0"
+
+    def test_index_expression(self):
+        e = expr("buf[i + 1]")
+        assert isinstance(e, ast.IndexRef)
+        assert isinstance(e.index, ast.Binary)
+
+    def test_call_expression_with_args(self):
+        e = expr("f(1, x)")
+        assert isinstance(e, ast.CallExpr)
+        assert len(e.args) == 2
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            expr("1 + 2 3")
+
+    def test_bitwise_precedence_chain(self):
+        e = expr("a | b ^ c & d")
+        assert isinstance(e, ast.Binary) and e.op == "|"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "^"
+
+
+def parse_src(src: str) -> ast.Module:
+    return parse(tokenize(src))
+
+
+class TestDeclarationParsing:
+    def test_global_with_and_without_init(self):
+        m = parse_src("global a; global b = 5; global c = -2;")
+        inits = {g.name: g.init for g in m.globals_}
+        assert inits == {"a": 0, "b": 5, "c": -2}
+
+    def test_array_declaration(self):
+        m = parse_src("array buf[16];")
+        assert m.arrays[0].name == "buf"
+        assert m.arrays[0].size == 16
+
+    def test_zero_sized_array_rejected(self):
+        with pytest.raises(ParseError, match="positive"):
+            parse_src("array buf[0];")
+
+    def test_proc_params(self):
+        m = parse_src("proc f(a, b, c) { return a; }")
+        assert m.procedures[0].params == ("a", "b", "c")
+
+    def test_top_level_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_src("banana;")
+
+
+class TestStatementParsing:
+    def test_if_else_chain(self):
+        m = parse_src(
+            "proc f(v) { if (v > 2) { led(2); } else if (v > 1) { led(1); } else { led(0); } }"
+        )
+        stmt = m.procedures[0].body.statements[0]
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while_statement(self):
+        m = parse_src("proc f() { while (1) { return; } }")
+        assert isinstance(m.procedures[0].body.statements[0], ast.While)
+
+    def test_index_assignment(self):
+        m = parse_src("array a[4]; proc f(i, v) { a[i] = v; }")
+        stmt = m.procedures[1 - 1].body.statements[0]
+        assert isinstance(stmt, ast.IndexAssign)
+
+    def test_call_statement(self):
+        m = parse_src("proc g() { } proc f() { g(); }")
+        stmt = m.procedures[1].body.statements[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.CallExpr)
+
+    def test_return_with_and_without_value(self):
+        m = parse_src("proc f() { return; } proc g() { return 1; }")
+        assert m.procedures[0].body.statements[0].value is None
+        assert m.procedures[1].body.statements[0].value is not None
+
+    def test_send_and_led(self):
+        m = parse_src("proc f(v) { send(v); led(v & 7); }")
+        stmts = m.procedures[0].body.statements
+        assert isinstance(stmts[0], ast.SendStmt)
+        assert isinstance(stmts[1], ast.LedStmt)
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError, match="unterminated|'}'"):
+            parse_src("proc f() { led(1);")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_src("proc f() { led(1) }")
+
+    def test_identifier_without_action_raises(self):
+        with pytest.raises(ParseError, match="'=', '\\[' or '\\('"):
+            parse_src("proc f(x) { x; }")
+
+    def test_error_position_is_reported(self):
+        with pytest.raises(ParseError) as exc:
+            parse_src("proc f() {\n  var = 3;\n}")
+        assert exc.value.line == 2

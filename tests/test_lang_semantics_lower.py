@@ -1,0 +1,174 @@
+"""Tests for semantic checking and AST-to-CFG lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.ir.instructions import Branch, Opcode
+from repro.lang import compile_source
+from repro.markov.builders import BranchParameterization
+
+
+def check_fails(src: str, pattern: str) -> None:
+    with pytest.raises(SemanticError, match=pattern):
+        compile_source(src)
+
+
+class TestSemanticErrors:
+    def test_undeclared_variable_read(self):
+        check_fails("proc main() { led(x); }", "undeclared variable 'x'")
+
+    def test_undeclared_variable_write(self):
+        check_fails("proc main() { x = 1; }", "undeclared variable 'x'")
+
+    def test_variable_redeclaration(self):
+        check_fails("proc main() { var x = 1; var x = 2; }", "redeclaration")
+
+    def test_local_shadowing_global(self):
+        check_fails("global g; proc main() { var g = 1; }", "shadows")
+
+    def test_param_shadowing_global(self):
+        check_fails("global g; proc f(g) { } proc main() { f(1); }", "shadows")
+
+    def test_undeclared_array(self):
+        check_fails("proc main() { var x = buf[0]; }", "undeclared array")
+
+    def test_undeclared_procedure_call(self):
+        check_fails("proc main() { ghost(); }", "undeclared procedure")
+
+    def test_arity_mismatch(self):
+        check_fails(
+            "proc f(a, b) { } proc main() { f(1); }", "expects 2 argument"
+        )
+
+    def test_void_call_in_expression(self):
+        check_fails(
+            "proc f() { } proc main() { var x = f(); }", "returns no value"
+        )
+
+    def test_mixed_returns(self):
+        check_fails(
+            "proc f(v) { if (v > 1) { return 1; } return; } proc main() { f(1); }",
+            "mixes value and void",
+        )
+
+    def test_unreachable_after_return(self):
+        check_fails("proc main() { return; led(1); }", "unreachable")
+
+    def test_missing_entry(self):
+        check_fails("proc helper() { }", "entry procedure 'main'")
+
+    def test_entry_with_params(self):
+        check_fails("proc main(x) { }", "no parameters")
+
+    def test_duplicate_declarations(self):
+        check_fails("global x; array x[4]; proc main() { }", "duplicate")
+
+    def test_scope_does_not_leak_between_procs(self):
+        check_fails(
+            "proc f() { var x = 1; } proc main() { led(x); }",
+            "undeclared variable 'x'",
+        )
+
+
+class TestLowering:
+    def test_if_produces_one_branch(self):
+        prog = compile_source("proc main() { if (sense(a) > 1) { led(1); } }")
+        assert prog.procedure("main").branch_count() == 1
+
+    def test_while_produces_loop(self):
+        prog = compile_source("proc main() { while (sense(a) > 900) { led(1); } }")
+        main = prog.procedure("main")
+        assert main.branch_count() == 1
+        assert main.cfg.loop_count() == 1
+
+    def test_logical_and_lowers_eagerly_no_extra_branch(self):
+        prog = compile_source(
+            "proc main() { if (sense(a) > 1 && sense(b) > 2) { led(1); } }"
+        )
+        # One source-level decision -> exactly one CFG branch.
+        assert prog.procedure("main").branch_count() == 1
+
+    def test_nested_if_branch_order_is_source_order(self):
+        prog = compile_source(
+            """
+            proc main() {
+                var a = sense(c0);
+                if (a > 1) { led(1); }
+                if (a > 2) { led(2); }
+            }
+            """
+        )
+        par = BranchParameterization(prog.procedure("main").cfg)
+        assert par.n_parameters == 2
+        # First branch block must precede the second in layout order.
+        labels = prog.procedure("main").cfg.labels
+        assert labels.index(par.branch_labels[0]) < labels.index(par.branch_labels[1])
+
+    def test_return_in_both_arms_skips_join(self):
+        prog = compile_source(
+            """
+            proc f(v) {
+                if (v > 1) { return 1; } else { return 2; }
+            }
+            proc main() { var x = f(sense(a)); led(x); }
+            """
+        )
+        f = prog.procedure("f")
+        assert len(f.cfg.return_blocks()) == 2
+
+    def test_value_returning_proc_gets_implicit_zero_return(self):
+        prog = compile_source(
+            """
+            proc f(v) {
+                if (v > 1) { return 5; }
+            }
+            proc main() { var x = f(sense(a)); led(x); }
+            """
+        )
+        f = prog.procedure("f")
+        assert f.returns_value
+        # The implicit path must still return something.
+        assert len(f.cfg.return_blocks()) >= 2
+
+    def test_condition_instructions_live_in_branch_block(self):
+        prog = compile_source("proc main() { if (sense(a) > 100) { led(1); } }")
+        branch_block = prog.procedure("main").cfg.branch_blocks()[0]
+        opcodes = [i.opcode for i in branch_block.instructions]
+        assert Opcode.SENSE in opcodes
+        assert Opcode.BINOP in opcodes
+
+    def test_loop_header_holds_condition(self):
+        prog = compile_source("proc main() { while (sense(a) > 900) { led(1); } }")
+        cfg = prog.procedure("main").cfg
+        header = cfg.branch_blocks()[0]
+        assert any(i.opcode is Opcode.SENSE for i in header.instructions)
+        term = header.terminator
+        assert isinstance(term, Branch)
+
+    def test_globals_and_arrays_flow_to_program(self):
+        prog = compile_source("global g = 3; array buf[8]; proc main() { g = buf[0]; }")
+        assert prog.globals_ == {"g": 3}
+        assert prog.arrays == {"buf": 8}
+
+    def test_source_is_attached(self):
+        src = "proc main() { }"
+        prog = compile_source(src)
+        assert prog.source == src
+
+    def test_call_lowering_passes_arguments(self):
+        prog = compile_source(
+            """
+            proc f(a, b) { return a + b; }
+            proc main() { var x = f(1, 2); led(x); }
+            """
+        )
+        main = prog.procedure("main")
+        calls = [i for b in main.cfg for i in b.instructions if i.is_call()]
+        assert len(calls) == 1
+        assert len(calls[0].args) == 2
+
+    def test_custom_entry_name(self):
+        prog = compile_source("proc boot() { }", entry="boot")
+        assert prog.entry == "boot"

@@ -1,0 +1,131 @@
+"""Tests for the JSON serialization of profiling artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CodeTomography, EstimationOptions
+from repro.errors import ProfilingError
+from repro.mote import MICAZ_LIKE
+from repro.placement import optimize_program_layout, source_order_layout
+from repro.profiling import (
+    TimingDataset,
+    TimingProfiler,
+    dataset_from_json,
+    dataset_to_json,
+    estimation_from_json,
+    estimation_to_json,
+    layout_from_json,
+    layout_to_json,
+)
+from repro.sim import run_program
+
+
+@pytest.fixture(scope="module")
+def artifacts(request):
+    from repro.lang import compile_source
+    from repro.mote import IIDSensor, SensorSuite
+    from tests.conftest import DEMO_SOURCE
+
+    prog = compile_source(DEMO_SOURCE, "demo")
+    sensors = SensorSuite(
+        {"adc0": IIDSensor(560, 200), "adc1": IIDSensor(560, 200)}, rng=7
+    )
+    result = run_program(prog, MICAZ_LIKE, sensors, activations=400)
+    dataset = TimingProfiler(MICAZ_LIKE, rng=1).collect(result.records)
+    estimate = CodeTomography(prog, MICAZ_LIKE).estimate(
+        dataset, EstimationOptions(method="moments", seed=2)
+    )
+    layout = optimize_program_layout(prog, estimate.thetas)
+    return prog, dataset, estimate, layout
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip_preserves_samples_and_order(self, artifacts):
+        _, dataset, _, _ = artifacts
+        restored = dataset_from_json(dataset_to_json(dataset))
+        assert restored.procedures() == dataset.procedures()
+        for name in dataset.procedures():
+            assert np.array_equal(restored.durations(name), dataset.durations(name))
+
+    def test_payload_is_valid_json_with_header(self, artifacts):
+        _, dataset, _, _ = artifacts
+        payload = json.loads(dataset_to_json(dataset))
+        assert payload["format"] == "repro/v1"
+        assert payload["kind"] == "timing-dataset"
+
+    def test_wrong_kind_rejected(self, artifacts):
+        _, dataset, _, _ = artifacts
+        text = dataset_to_json(dataset)
+        with pytest.raises(ProfilingError, match="kind"):
+            estimation_from_json(text)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ProfilingError, match="format"):
+            dataset_from_json(json.dumps({"format": "v0", "kind": "timing-dataset"}))
+
+    def test_empty_dataset_round_trips(self):
+        restored = dataset_from_json(dataset_to_json(TimingDataset({})))
+        assert restored.procedures() == []
+
+
+class TestEstimationRoundTrip:
+    def test_round_trip_preserves_thetas(self, artifacts):
+        _, _, estimate, _ = artifacts
+        restored = estimation_from_json(estimation_to_json(estimate))
+        for name, theta in estimate.thetas.items():
+            assert np.allclose(restored.thetas[name], theta)
+
+    def test_round_trip_preserves_diagnostics(self, artifacts):
+        _, _, estimate, _ = artifacts
+        restored = estimation_from_json(estimation_to_json(estimate))
+        for name, est in estimate.estimates.items():
+            other = restored.estimate_for(name)
+            assert other.method == est.method
+            assert other.n_samples == est.n_samples
+            assert other.warnings == est.warnings
+
+    def test_nan_fit_cost_round_trips(self, artifacts):
+        prog, _, _, _ = artifacts
+        # Force a prior fallback (NaN fit cost) and round-trip it.
+        estimate = CodeTomography(prog, MICAZ_LIKE).estimate(TimingDataset({}))
+        restored = estimation_from_json(estimation_to_json(estimate))
+        assert np.isnan(restored.estimate_for("work").fit_cost)
+
+
+class TestLayoutRoundTrip:
+    def test_round_trip_preserves_orders(self, artifacts):
+        prog, _, _, layout = artifacts
+        restored = layout_from_json(layout_to_json(layout), prog)
+        for proc in prog:
+            assert restored.layout(proc.name).order == layout.layout(proc.name).order
+
+    def test_missing_procedure_rejected(self, artifacts):
+        prog, _, _, _ = artifacts
+        text = json.dumps(
+            {"format": "repro/v1", "kind": "program-layout", "orders": {}}
+        )
+        with pytest.raises(ProfilingError, match="missing procedure"):
+            layout_from_json(text, prog)
+
+    def test_rebinding_validates_block_sets(self, artifacts):
+        prog, _, _, _ = artifacts
+        from repro.errors import PlacementError
+
+        orders = {p.name: p.cfg.labels for p in prog}
+        orders["main"] = orders["main"][:-1]  # drop a block
+        text = json.dumps(
+            {"format": "repro/v1", "kind": "program-layout", "orders": orders}
+        )
+        with pytest.raises(PlacementError):
+            layout_from_json(text, prog)
+
+    def test_source_order_round_trip(self, artifacts):
+        prog, _, _, _ = artifacts
+        layout = source_order_layout(prog)
+        restored = layout_from_json(layout_to_json(layout), prog)
+        for proc in prog:
+            assert restored.layout(proc.name).order == proc.cfg.labels

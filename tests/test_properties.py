@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property is a structural guarantee the rest of the system leans on:
+chains conserve probability, layouts preserve block sets, the forward model
+is consistent with brute-force path enumeration, and generated programs
+always compile and validate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.lang.lexer import tokenize
+from repro.markov.builders import BranchParameterization
+from repro.markov.moments import reward_moments
+from repro.mote import MICAZ_LIKE
+from repro.placement import Layout, optimize_layout
+from repro.placement.optimizer import edge_frequencies
+from repro.sim import ProcedureTimingModel
+from repro.core import enumerate_paths
+from repro.workloads.synthetic import random_estimation_problem, random_workload
+
+thetas = st.floats(0.02, 0.98)
+seeds = st.integers(0, 10_000)
+
+
+@st.composite
+def synthetic_problems(draw):
+    seed = draw(seeds)
+    n_branches = draw(st.integers(1, 4))
+    loop_fraction = draw(st.floats(0.0, 1.0))
+    proc, truth = random_estimation_problem(
+        rng=seed, n_branches=n_branches, loop_fraction=loop_fraction
+    )
+    return proc, truth
+
+
+class TestChainInvariants:
+    @given(synthetic_problems(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_expected_visits_nonnegative_and_entry_visited_once_minimum(
+        self, problem, data
+    ):
+        proc, _ = problem
+        par = BranchParameterization(proc.cfg)
+        theta = np.array([data.draw(thetas) for _ in range(par.n_parameters)])
+        chain = par.chain(theta, {label: 1.0 for label in par.states})
+        visits = chain.expected_visits_from_start()
+        assert np.all(visits >= -1e-9)
+        assert visits[chain.start_index] >= 1.0 - 1e-9
+
+    @given(synthetic_problems(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_moments_are_valid(self, problem, data):
+        proc, _ = problem
+        model = ProcedureTimingModel(proc, MICAZ_LIKE, Layout.source_order(proc.cfg))
+        theta = np.array([data.draw(thetas) for _ in range(model.n_parameters)])
+        m = model.moments(theta)
+        assert m.mean > 0
+        assert m.variance >= 0
+        assert np.isfinite(m.third_central)
+
+    @given(synthetic_problems(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_moments_match_path_enumeration(self, problem, data):
+        # Independent consistency check: the closed-form chain moments must
+        # equal the probability-weighted path statistics when (almost) all
+        # mass is enumerated.
+        proc, _ = problem
+        model = ProcedureTimingModel(proc, MICAZ_LIKE, Layout.source_order(proc.cfg))
+        theta = np.array([data.draw(st.floats(0.1, 0.7)) for _ in range(model.n_parameters)])
+        family = enumerate_paths(model, theta, min_prob=1e-9, max_paths=20_000)
+        probs = family.probabilities(theta)
+        assume(probs.sum() > 0.9999)
+        durations, _ = family.durations()
+        mean = float(np.sum(probs * durations))
+        analytic = model.moments(theta)
+        assert mean == pytest.approx(analytic.mean, rel=1e-3)
+
+
+class TestPlacementInvariants:
+    @given(synthetic_problems(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_optimized_layout_is_a_permutation_with_entry_first(self, problem, data):
+        proc, _ = problem
+        par = BranchParameterization(proc.cfg)
+        theta = np.array([data.draw(thetas) for _ in range(par.n_parameters)])
+        layout = optimize_layout(proc.cfg, theta)
+        assert sorted(layout.order) == sorted(proc.cfg.labels)
+        assert layout.order[0] == proc.cfg.entry
+
+    @given(synthetic_problems(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_frequencies_conserve_flow(self, problem, data):
+        # Flow into any non-entry block equals flow out of it (returns sink).
+        proc, _ = problem
+        par = BranchParameterization(proc.cfg)
+        theta = np.array([data.draw(thetas) for _ in range(par.n_parameters)])
+        freqs = edge_frequencies(proc.cfg, theta)
+        for label in par.states:
+            block = proc.cfg.block(label)
+            inflow = sum(f for (s, d), f in freqs.items() if d == label)
+            outflow = sum(f for (s, d), f in freqs.items() if s == label)
+            if label == proc.cfg.entry:
+                inflow += 1.0
+            if block.is_return:
+                continue  # outflow goes to the absorbing exit, not an edge
+            assert inflow == pytest.approx(outflow, rel=1e-6, abs=1e-9)
+
+
+class TestGeneratorInvariants:
+    @given(seeds, st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_workloads_always_compile(self, seed, n_branches):
+        sw = random_workload(rng=seed, n_branches=n_branches)
+        prog = sw.program()  # compile_source validates internally
+        assert prog.totals()["branches"] == n_branches
+
+    @given(seeds, st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_random_problems_have_matching_theta(self, seed, n_branches):
+        proc, theta = random_estimation_problem(rng=seed, n_branches=n_branches)
+        assert theta.shape == (proc.branch_count(),)
+
+
+class TestLexerRobustness:
+    @given(st.text(max_size=200))
+    @settings(max_examples=150)
+    def test_lexer_never_crashes_unexpectedly(self, text):
+        # Any input either tokenizes or raises the typed LexError.
+        from repro.errors import LexError
+
+        try:
+            tokens = tokenize(text)
+        except LexError:
+            return
+        assert tokens[-1].kind.value == "eof"
+
+    @given(st.text(alphabet=st.sampled_from("abcxyz01 +-*/%<>=!&|^(){}[];,\n"), max_size=120))
+    @settings(max_examples=150)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        from repro.errors import LangError
+
+        try:
+            compile_source(text)
+        except LangError:
+            return
+        # If it compiled, the text was a genuinely valid module.

@@ -1,0 +1,125 @@
+"""Tests for layout-aware ROM sizing and power-law convergence fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_power_law
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE
+from repro.placement import (
+    Layout,
+    layout_rom,
+    optimize_program_layout,
+    program_layout_rom,
+    source_order_layout,
+)
+
+
+@pytest.fixture
+def branchy_program():
+    return compile_source(
+        """
+        proc main() {
+            if (sense(a) > 700) {
+                send(1);
+            } else {
+                led(0);
+            }
+            while (sense(b) > 800) {
+                led(1);
+            }
+        }
+        """
+    )
+
+
+class TestLayoutRom:
+    def test_total_combines_components(self, branchy_program):
+        layout = source_order_layout(branchy_program)
+        rom = program_layout_rom(layout, MICAZ_LIKE.memory)
+        assert rom.total_bytes == (
+            rom.base_bytes - rom.elided_jump_bytes + rom.materialized_jump_bytes
+        )
+        assert rom.base_bytes > 0
+
+    def test_source_order_elides_some_jumps(self, branchy_program):
+        # Lowering emits jumps to the textually-next join blocks, which the
+        # source-order layout keeps adjacent.
+        layout = source_order_layout(branchy_program)
+        rom = program_layout_rom(layout, MICAZ_LIKE.memory)
+        assert rom.elided_jump_bytes > 0
+
+    def test_reversed_layout_costs_more_rom(self, branchy_program):
+        main = branchy_program.procedure("main")
+        source = Layout.source_order(main.cfg)
+        reversed_order = [main.cfg.entry] + [
+            l for l in reversed(main.cfg.labels) if l != main.cfg.entry
+        ]
+        shuffled = Layout(main.cfg, reversed_order)
+        memory = MICAZ_LIKE.memory
+        assert layout_rom(shuffled, memory).total_bytes >= layout_rom(source, memory).total_bytes
+
+    def test_optimized_layout_stays_within_budget(self):
+        from repro.workloads import all_workloads
+
+        memory = MICAZ_LIKE.memory
+        for spec in all_workloads():
+            prog = spec.program()
+            thetas = {
+                p.name: np.full(p.branch_count(), 0.7) for p in prog
+            }
+            optimized = optimize_program_layout(prog, thetas)
+            rom = program_layout_rom(optimized, memory)
+            assert rom.total_bytes < memory.flash_bytes
+            # Placement may add/remove a few words but not explode the image.
+            base = program_layout_rom(source_order_layout(prog), memory)
+            assert abs(rom.total_bytes - base.total_bytes) <= 0.25 * base.total_bytes
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_exponent(self):
+        ns = np.array([10, 100, 1000, 10_000])
+        errors = 3.0 * ns**-0.5
+        fit = fit_power_law(ns, errors)
+        assert fit.exponent == pytest.approx(-0.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict_interpolates(self):
+        fit = fit_power_law([10, 1000], [1.0, 0.1])
+        assert fit.predict(100) == pytest.approx(np.sqrt(1.0 * 0.1), rel=1e-6)
+
+    def test_noise_reflected_in_residual(self):
+        rng = np.random.default_rng(0)
+        ns = np.array([10, 30, 100, 300, 1000], dtype=float)
+        errors = 2.0 * ns**-0.5 * np.exp(rng.normal(0, 0.2, size=ns.size))
+        fit = fit_power_law(ns, errors)
+        assert -0.8 < fit.exponent < -0.2
+        assert fit.residual > 0
+
+    def test_zero_errors_floored(self):
+        fit = fit_power_law([10, 100], [0.1, 0.0])
+        assert np.isfinite(fit.exponent)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [0.1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 10], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 100], [0.1])
+
+    def test_monte_carlo_estimation_decays_at_half_rate(self):
+        # End-to-end: estimating a Bernoulli probability from samples decays
+        # as n^-1/2; the fitter must see that on real estimation error data.
+        rng = np.random.default_rng(1)
+        truth = 0.3
+        ns = [50, 200, 800, 3200, 12_800]
+        errors = []
+        for n in ns:
+            trials = [abs(rng.binomial(n, truth) / n - truth) for _ in range(200)]
+            errors.append(np.mean(trials))
+        fit = fit_power_law(ns, errors)
+        assert fit.exponent == pytest.approx(-0.5, abs=0.1)

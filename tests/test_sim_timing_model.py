@@ -1,0 +1,165 @@
+"""Tests for the analytic timing model, including the load-bearing property:
+its predicted moments must match the interpreter's measured cycle counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, SensorSuite, UniformSensor
+from repro.placement.layout import Layout, ProgramLayout
+from repro.sim import ProcedureTimingModel, ProgramTimingModel, run_program
+from repro.workloads.synthetic import random_estimation_problem
+
+# Memoryless source: every branch tests a fresh uniform reading, so the
+# Markov model is exact and analytic moments must match simulation.
+MEMORYLESS_SOURCE = """
+proc helper(v) {
+    if (v > 511) {
+        send(v);
+        return v * 2;
+    }
+    return v + 1;
+}
+
+proc main() {
+    var v = sense(adc0);
+    var r = helper(v);
+    while (sense(adc1) > 767) {
+        led(1);
+    }
+    if (sense(adc2) > 255) {
+        led(2);
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def memoryless_run():
+    prog = compile_source(MEMORYLESS_SOURCE, "memoryless")
+    sensors = SensorSuite(
+        {ch: UniformSensor() for ch in ("adc0", "adc1", "adc2")}, rng=101
+    )
+    result = run_program(prog, MICAZ_LIKE, sensors, activations=20_000)
+    truth = {p.name: result.counters.true_branch_probabilities(p) for p in prog}
+    return prog, result, truth
+
+
+class TestModelSimulatorAgreement:
+    def test_mean_matches_simulation(self, memoryless_run):
+        prog, result, truth = memoryless_run
+        model = ProgramTimingModel(prog, MICAZ_LIKE)
+        predicted = model.entry_moments(truth)
+        measured = result.durations_for("main")
+        # Means agree to well under a cycle per activation at n=20k.
+        assert predicted.mean == pytest.approx(measured.mean(), rel=5e-3)
+
+    def test_variance_matches_simulation(self, memoryless_run):
+        prog, result, truth = memoryless_run
+        model = ProgramTimingModel(prog, MICAZ_LIKE)
+        predicted = model.entry_moments(truth)
+        measured = result.durations_for("main")
+        assert predicted.variance == pytest.approx(measured.var(), rel=0.05)
+
+    def test_third_moment_matches_simulation(self, memoryless_run):
+        prog, result, truth = memoryless_run
+        model = ProgramTimingModel(prog, MICAZ_LIKE)
+        predicted = model.entry_moments(truth)
+        measured = result.durations_for("main")
+        empirical = float(np.mean((measured - measured.mean()) ** 3))
+        assert predicted.third_central == pytest.approx(empirical, rel=0.15)
+
+    def test_leaf_procedure_moments_match(self, memoryless_run):
+        prog, result, truth = memoryless_run
+        model = ProgramTimingModel(prog, MICAZ_LIKE)
+        all_moments = model.all_moments(truth)
+        measured = result.durations_for("helper")
+        assert all_moments["helper"].mean == pytest.approx(measured.mean(), rel=5e-3)
+        assert all_moments["helper"].variance == pytest.approx(measured.var(), rel=0.05)
+
+    def test_agreement_holds_under_alternative_layout(self):
+        # Same program, reversed non-entry layout: costs change (different
+        # fallthroughs), and the model must track the simulator exactly.
+        prog = compile_source(MEMORYLESS_SOURCE, "memoryless2")
+        layouts = {}
+        for proc in prog:
+            order = [proc.cfg.entry] + [
+                l for l in reversed(proc.cfg.labels) if l != proc.cfg.entry
+            ]
+            layouts[proc.name] = Layout(proc.cfg, order)
+        playout = ProgramLayout(prog, layouts)
+        sensors = SensorSuite(
+            {ch: UniformSensor() for ch in ("adc0", "adc1", "adc2")}, rng=55
+        )
+        result = run_program(prog, MICAZ_LIKE, sensors, activations=20_000, layout=playout)
+        truth = {p.name: result.counters.true_branch_probabilities(p) for p in prog}
+        model = ProgramTimingModel(prog, MICAZ_LIKE, playout)
+        predicted = model.entry_moments(truth)
+        measured = result.durations_for("main")
+        assert predicted.mean == pytest.approx(measured.mean(), rel=5e-3)
+        assert predicted.variance == pytest.approx(measured.var(), rel=0.06)
+
+
+class TestProcedureTimingModel:
+    def test_synthetic_chain_moments_match_sampling(self):
+        from repro.markov.sampling import sample_rewards
+        from repro.markov.moments import reward_moments
+
+        proc, theta = random_estimation_problem(rng=3, n_branches=3)
+        model = ProcedureTimingModel(proc, MICAZ_LIKE, Layout.source_order(proc.cfg))
+        chain = model.chain(theta)
+        xs = sample_rewards(chain, 30_000, rng=9)
+        m = reward_moments(chain)
+        assert xs.mean() == pytest.approx(m.mean, rel=0.01)
+        assert xs.var() == pytest.approx(m.variance, rel=0.05)
+
+    def test_theta_shape_is_validated(self, diamond_procedure):
+        model = ProcedureTimingModel(
+            diamond_procedure, MICAZ_LIKE, Layout.source_order(diamond_procedure.cfg)
+        )
+        with pytest.raises(SimulationError, match="length"):
+            model.chain([0.5, 0.5])
+
+    def test_missing_callee_moments_raise(self):
+        prog = compile_source(
+            "proc leaf() { } proc main() { leaf(); }"
+        )
+        main = prog.procedure("main")
+        with pytest.raises(SimulationError, match="callee"):
+            ProcedureTimingModel(main, MICAZ_LIKE, Layout.source_order(main.cfg))
+
+    def test_transition_plan_rows_cover_all_states(self, diamond_procedure):
+        model = ProcedureTimingModel(
+            diamond_procedure, MICAZ_LIKE, Layout.source_order(diamond_procedure.cfg)
+        )
+        plan = model.transition_plan()
+        assert len(plan) == len(model.states)
+        # Branch arms are zero-variance deterministic-cost states.
+        arm_indices = [i for i, s in enumerate(model.states) if "@" in s]
+        assert len(arm_indices) == 2
+        assert all(model.reward_variances[i] == 0 for i in arm_indices)
+
+    def test_monotone_in_loop_probability(self):
+        prog = compile_source("proc main() { while (sense(a) > 900) { led(1); } }")
+        main = prog.procedure("main")
+        model = ProcedureTimingModel(main, MICAZ_LIKE, Layout.source_order(main.cfg))
+        means = [model.moments([p]).mean for p in (0.1, 0.5, 0.9)]
+        assert means[0] < means[1] < means[2]
+
+
+class TestProgramTimingModel:
+    def test_thetas_length_validated(self, demo_program):
+        model = ProgramTimingModel(demo_program, MICAZ_LIKE)
+        with pytest.raises(SimulationError, match="length"):
+            model.all_moments({"work": [0.5, 0.5], "main": [0.5]})
+
+    def test_zero_parameter_procedures_need_no_entry(self):
+        prog = compile_source("proc main() { led(1); }")
+        model = ProgramTimingModel(prog, MICAZ_LIKE)
+        moments = model.entry_moments({})
+        assert moments.mean > 0
+        assert moments.variance == 0.0

@@ -1,0 +1,149 @@
+"""Tests for the workload suite, input scenarios, and synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mote import MICAZ_LIKE
+from repro.sim import run_program
+from repro.workloads import (
+    all_workloads,
+    random_estimation_problem,
+    random_workload,
+    workload_by_name,
+)
+from repro.workloads.inputs import SCENARIOS, build_sensors
+
+
+class TestRegistry:
+    def test_suite_has_six_workloads(self):
+        names = [spec.name for spec in all_workloads()]
+        assert names == sorted(names)
+        assert len(names) == 6
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("blink").name == "blink"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(WorkloadError, match="blink"):
+            workload_by_name("quake")
+
+    def test_programs_compile_and_cache(self):
+        spec = workload_by_name("sense")
+        assert spec.program() is spec.program()
+
+    def test_every_workload_has_description_and_channels(self):
+        for spec in all_workloads():
+            assert spec.description
+            assert spec.channels
+
+
+class TestWorkloadExecution:
+    @pytest.mark.parametrize("spec", all_workloads(), ids=lambda s: s.name)
+    def test_runs_without_error_and_exercises_branches(self, spec):
+        result = run_program(
+            spec.program(), MICAZ_LIKE, spec.sensors(rng=11), activations=300
+        )
+        assert result.total_cycles > 0
+        assert result.counters.branches_executed > 0
+
+    @pytest.mark.parametrize("spec", all_workloads(), ids=lambda s: s.name)
+    def test_branch_probabilities_are_nondegenerate(self, spec):
+        prog = spec.program()
+        result = run_program(prog, MICAZ_LIKE, spec.sensors(rng=11), activations=1000)
+        pooled = np.concatenate(
+            [result.counters.true_branch_probabilities(p) for p in prog]
+        )
+        # At least one genuinely probabilistic branch per workload.
+        assert np.any((pooled > 0.02) & (pooled < 0.98))
+
+    def test_seeded_runs_reproduce(self):
+        spec = workload_by_name("event-detect")
+        a = run_program(spec.program(), MICAZ_LIKE, spec.sensors(rng=3), activations=200)
+        b = run_program(spec.program(), MICAZ_LIKE, spec.sensors(rng=3), activations=200)
+        assert a.total_cycles == b.total_cycles
+
+    def test_oscilloscope_flushes_every_16(self):
+        spec = workload_by_name("oscilloscope")
+        result = run_program(
+            spec.program(), MICAZ_LIKE, spec.sensors(rng=1), activations=64
+        )
+        assert result.radio_packets == 64  # 4 flushes x 16 sends
+
+
+class TestInputScenarios:
+    def test_all_scenarios_build(self):
+        for scenario in SCENARIOS:
+            suite = build_sensors({"ch": (500.0, 100.0)}, scenario=scenario, rng=0)
+            assert suite.read("ch") >= 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown scenario"):
+            build_sensors({"ch": (500.0, 100.0)}, scenario="martian")
+
+    def test_scenarios_change_branch_statistics(self):
+        spec = workload_by_name("event-detect")
+        prog = spec.program()
+
+        def pooled_theta(scenario):
+            result = run_program(
+                prog,
+                MICAZ_LIKE,
+                spec.sensors(scenario=scenario, rng=5),
+                activations=2000,
+            )
+            return np.concatenate(
+                [result.counters.true_branch_probabilities(p) for p in prog]
+            )
+
+        assert not np.allclose(pooled_theta("default"), pooled_theta("bursty"), atol=0.02)
+
+
+class TestRandomWorkload:
+    def test_generated_source_compiles_and_runs(self):
+        sw = random_workload(rng=3, n_branches=5)
+        prog = sw.program()
+        assert prog.totals()["branches"] == 5
+        result = run_program(prog, MICAZ_LIKE, sw.sensors(rng=2), activations=500)
+        assert result.total_cycles > 0
+
+    def test_targets_match_empirical_probabilities(self):
+        sw = random_workload(rng=8, n_branches=4, loop_probability=0.0)
+        prog = sw.program()
+        result = run_program(prog, MICAZ_LIKE, sw.sensors(rng=4), activations=6000)
+        truth = result.counters.true_branch_probabilities(prog.procedure("main"))
+        assert np.max(np.abs(truth - np.asarray(sw.target_thetas))) < 0.05
+
+    def test_generation_is_seeded(self):
+        assert random_workload(rng=5).source == random_workload(rng=5).source
+
+    def test_rejects_zero_branches(self):
+        with pytest.raises(WorkloadError):
+            random_workload(n_branches=0)
+
+
+class TestRandomEstimationProblem:
+    def test_structure_matches_request(self):
+        proc, theta = random_estimation_problem(rng=4, n_branches=4)
+        assert proc.branch_count() == 4
+        assert theta.shape == (4,)
+        assert np.all((theta > 0) & (theta < 1))
+
+    def test_validated_cfg(self):
+        from repro.ir import validate_cfg
+
+        proc, _ = random_estimation_problem(rng=10, n_branches=6)
+        validate_cfg(proc.cfg, proc.name)
+
+    def test_loops_capped(self):
+        for seed in range(5):
+            proc, theta = random_estimation_problem(
+                rng=seed, n_branches=3, loop_fraction=1.0, max_loop_continue=0.7
+            )
+            assert np.all(theta <= 0.7)
+
+    def test_rejects_bad_cost_range(self):
+        with pytest.raises(WorkloadError):
+            random_estimation_problem(cost_range=(10, 5))
