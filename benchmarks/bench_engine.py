@@ -1,0 +1,77 @@
+"""Engine — parallel fan-out and result-cache speedups.
+
+Not a paper figure: this regenerates the two performance claims the
+experiment engine itself makes (EXPERIMENTS.md "engine" section): a warm
+cache serves a completed configuration at least 5x faster than computing
+it, and the batched simulation driver produces bit-identical results when
+fanned over a process pool.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.engine import ResultCache, run_experiments
+from repro.sim import run_program_batched
+from repro.workloads.inputs import build_sensors
+from repro.workloads.registry import workload_by_name
+
+# Quick-size config: the engine's overheads don't depend on problem size,
+# and the cache-speedup ratio only gets *more* favourable at full size.
+ENGINE_CONFIG = ExperimentConfig(activations=1500, seed=2015, quick=True)
+IDS = ["t1", "t2", "f7"]
+
+
+def test_engine_warm_cache_speedup(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+
+    cold_start = time.perf_counter()
+    cold = run_experiments(IDS, ENGINE_CONFIG, cache=cache)
+    cold_seconds = time.perf_counter() - cold_start
+    assert all(o.ok and not o.cached for o in cold)
+
+    warm = benchmark.pedantic(
+        run_experiments,
+        args=(IDS, ENGINE_CONFIG),
+        kwargs={"cache": cache},
+        rounds=3,
+        iterations=1,
+    )
+    assert all(o.ok and o.cached for o in warm)
+    assert [o.result.render() for o in warm] == [o.result.render() for o in cold]
+
+    warm_start = time.perf_counter()
+    run_experiments(IDS, ENGINE_CONFIG, cache=cache)
+    warm_seconds = time.perf_counter() - warm_start
+    assert warm_seconds * 5 < cold_seconds, (
+        f"warm cache must be >=5x faster: cold {cold_seconds:.2f}s, "
+        f"warm {warm_seconds:.2f}s"
+    )
+
+
+def test_engine_parallel_batches_bit_identical(benchmark):
+    spec = workload_by_name("sense")
+    factory = partial(build_sensors, dict(spec.channels), "default")
+    kwargs = dict(
+        program=spec.program(),
+        platform=ENGINE_CONFIG.platform,
+        sensor_factory=factory,
+        activations=1200,
+        batch_size=150,
+        rng=2015,
+    )
+    serial = run_program_batched(**kwargs)
+
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        parallel = benchmark.pedantic(
+            run_program_batched,
+            kwargs={**kwargs, "map_fn": pool.map},
+            rounds=1,
+            iterations=1,
+        )
+    assert parallel.records == serial.records
+    assert parallel.counters.edge_counts == serial.counters.edge_counts
+    assert parallel.total_cycles == serial.total_cycles

@@ -35,4 +35,19 @@ ALL_EXPERIMENTS = {
     "f7": fig_f7_drift.run,
 }
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "ALL_EXPERIMENTS"]
+# Imported after ALL_EXPERIMENTS exists: the engine resolves experiment
+# functions through this mapping (lazily, to keep the import DAG acyclic).
+from repro.experiments.engine import (  # noqa: E402
+    ExperimentOutcome,
+    ResultCache,
+    run_experiments,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentOutcome",
+    "ResultCache",
+    "run_experiments",
+    "ALL_EXPERIMENTS",
+]

@@ -3,12 +3,35 @@
 Centralizes the one pipeline every experiment repeats — run a workload on a
 platform, collect the degraded timing dataset, compute the empirical ground
 truth, estimate — so experiment modules stay declarative.
+
+Batchable units
+---------------
+
+Every experiment decomposes into independent **units** (one workload, one
+(predictor, workload) pair, one scenario, ...).  A unit is a module-level
+function that takes its identifying arguments plus the
+:class:`ExperimentConfig` and returns a :class:`UnitResult`; the experiment's
+``run()`` maps the unit function over the unit list with :func:`map_units`
+and reassembles tables/series with :func:`combine_units`.  Two properties
+make this the substrate of the parallel engine:
+
+* units derive *all* randomness from ``config`` and their own identity, so
+  a unit's output is independent of when and where it executes;
+* :func:`map_units` and :func:`combine_units` are order-preserving, so the
+  assembled :class:`ExperimentResult` is bit-identical whether units ran
+  serially or fanned out over a process pool.
+
+The engine enables unit-level fan-out via :func:`unit_executor`; outside
+that context :func:`map_units` is a plain serial ``map``.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import Executor
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -25,9 +48,17 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ProfiledRun",
+    "UnitResult",
     "profiled_run",
     "tomography_thetas",
+    "map_units",
+    "combine_units",
+    "unit_executor",
+    "stage",
 ]
+
+_T = TypeVar("_T")
+_U = TypeVar("_U")
 
 
 @dataclass(frozen=True)
@@ -52,20 +83,109 @@ class ExperimentConfig:
 
 @dataclass
 class ExperimentResult:
-    """What an experiment hands back: identity, tables, raw series."""
+    """What an experiment hands back: identity, tables, raw series.
+
+    ``timings`` holds wall-clock stage diagnostics (e.g. estimator fit
+    seconds).  They are deliberately *excluded* from :meth:`render`: the
+    rendered report contains only seed-determined values, which is what
+    lets the engine promise byte-identical output at any worker count and
+    lets the result cache serve renders verbatim.  The CLI reports timings
+    separately (``--progress`` / ``--json``).
+    """
 
     experiment_id: str
     title: str
     tables: list[Table] = field(default_factory=list)
     series: dict[str, list] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
-        """All tables plus notes, terminal-ready."""
+        """All tables plus notes, terminal-ready (deterministic for a seed)."""
         parts = [f"== {self.experiment_id.upper()}: {self.title} =="]
         parts.extend(t.render() for t in self.tables)
         parts.extend(f"note: {n}" for n in self.notes)
         return "\n\n".join(parts)
+
+
+@dataclass
+class UnitResult:
+    """One unit's contribution to an experiment: rows + series fragments."""
+
+    rows: list[tuple] = field(default_factory=list)
+    series: dict[str, list] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        """Append one table row (formatted later by the assembling Table)."""
+        self.rows.append(tuple(values))
+
+    def add_series(self, **points) -> None:
+        """Append one value per named series."""
+        for key, value in points.items():
+            self.series.setdefault(key, []).append(value)
+
+
+# The engine installs an executor here (main process only) to fan units out;
+# see unit_executor().  Module-global rather than an argument so the ten
+# experiment modules stay oblivious to how they are being scheduled.
+_UNIT_EXECUTOR: Optional[Executor] = None
+
+
+@contextmanager
+def unit_executor(executor: Executor) -> Iterator[None]:
+    """Route :func:`map_units` through ``executor`` inside this context.
+
+    Unit functions (and their bound arguments) must be picklable when the
+    executor crosses process boundaries — which module-level functions
+    partially applied with :class:`ExperimentConfig` are.
+    """
+    global _UNIT_EXECUTOR
+    previous = _UNIT_EXECUTOR
+    _UNIT_EXECUTOR = executor
+    try:
+        yield
+    finally:
+        _UNIT_EXECUTOR = previous
+
+
+def map_units(fn: Callable[[_T], _U], units: Sequence[_T]) -> list[_U]:
+    """Order-preserving map over independent experiment units.
+
+    Serial by default; inside a :func:`unit_executor` context the units fan
+    out over the installed pool.  Results always come back in input order,
+    so assembly downstream is schedule-independent.
+    """
+    items = list(units)
+    executor = _UNIT_EXECUTOR
+    if executor is None or len(items) <= 1:
+        return [fn(item) for item in items]
+    return list(executor.map(fn, items))
+
+
+def combine_units(
+    units: Sequence[UnitResult], table: Table, series: dict[str, list]
+) -> dict[str, float]:
+    """Assemble unit outputs, in order, into a table + series; sum timings."""
+    timings: dict[str, float] = {}
+    for unit in units:
+        for row in unit.rows:
+            table.add_row(*row)
+        for key, values in unit.series.items():
+            series.setdefault(key, []).extend(values)
+        for key, seconds in unit.timings.items():
+            timings[key] = timings.get(key, 0.0) + seconds
+    return timings
+
+
+@contextmanager
+def stage(timings: dict[str, float], name: str) -> Iterator[None]:
+    """Accumulate a stage's wall-clock seconds into ``timings[name]``."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings[name] = timings.get(name, 0.0) + time.perf_counter() - started
 
 
 @dataclass

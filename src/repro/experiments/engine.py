@@ -1,0 +1,307 @@
+"""Parallel execution engine for the experiment suite.
+
+The suite's unit of work is embarrassingly parallel twice over — the ten
+experiment ids are mutually independent, and within one experiment the
+batchable units (see :mod:`repro.experiments.common`) are too — yet the
+original CLI ran everything on one core.  This module fans both levels out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` while preserving the
+repository's reproducibility contract:
+
+**Determinism.** Every experiment derives all randomness from its
+:class:`ExperimentConfig` (seeds fan out via the SeedSequence scheme in
+:mod:`repro.util.rng`), units are mapped and reassembled in input order, and
+wall-clock diagnostics live outside the rendered tables — so for a fixed
+seed the rendered output is *byte-identical* at any ``jobs`` count,
+including ``jobs=1`` serial runs.
+
+**Caching.** Results are content-addressed by a SHA-256 fingerprint of the
+experiment id plus every config field (and the cache format + package
+version), stored as JSON under ``.repro-cache/``.  Re-running an unchanged
+configuration loads the stored tables verbatim; any config change produces a
+different key, so invalidation is automatic.
+
+**Fault isolation.** A failing experiment no longer aborts the run: the
+engine records the failure and keeps going, reporting everything at the
+end (:class:`ExperimentOutcome.error`).
+
+Scheduling policy: with several pending experiments the pool fans out
+*across* experiment ids (coarse grain, zero intra-experiment overhead);
+with a single pending experiment and ``jobs > 1`` it instead fans out that
+experiment's units via :func:`repro.experiments.common.unit_executor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import repro
+from repro.experiments.common import ExperimentConfig, ExperimentResult, unit_executor
+from repro.profiling.serialize import (
+    experiment_result_from_json,
+    experiment_result_to_json,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentOutcome",
+    "ProgressEvent",
+    "ResultCache",
+    "config_fingerprint",
+    "run_experiments",
+]
+
+CACHE_FORMAT = 1
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+# --------------------------------------------------------------------------
+# Outcomes and progress
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentOutcome:
+    """What the engine hands back for one requested experiment id."""
+
+    experiment_id: str
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the experiment produced a result (live or cached)."""
+        return self.result is not None and self.error is None
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One scheduling event, delivered to the CLI's ``--progress`` printer."""
+
+    kind: str  # "start" | "done" | "cached" | "failed"
+    experiment_id: str
+    completed: int
+    total: int
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+
+ProgressFn = Callable[[ProgressEvent], None]
+
+
+# --------------------------------------------------------------------------
+# Content-addressed result cache
+# --------------------------------------------------------------------------
+
+
+def config_fingerprint(experiment_id: str, config: ExperimentConfig) -> str:
+    """SHA-256 content address of one (experiment, configuration) pair.
+
+    Every field that can influence an experiment's output participates:
+    the platform (its frozen-dataclass ``repr`` covers timer, predictor,
+    cost model, energy, and memory parameters), activation count, seed,
+    quick mode, and scenario — plus the cache format and package version so
+    upgrades never serve stale layouts.  Changing any knob therefore
+    changes the key, which is the cache's entire invalidation story.
+    """
+    payload = {
+        "cache_format": CACHE_FORMAT,
+        "repro_version": getattr(repro, "__version__", "unknown"),
+        "experiment_id": experiment_id,
+        "platform": repr(config.platform),
+        "activations": config.activations,
+        "seed": config.seed,
+        "quick": config.quick,
+        "scenario": config.scenario,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Disk cache mapping config fingerprints to serialized results.
+
+    Layout: one ``<fingerprint>.json`` per result under ``root`` (flat —
+    the suite has tens of configurations, not millions).  Corrupt or
+    unreadable entries behave as misses; writes go through a temp file +
+    rename so a crashed run never leaves a half-written entry behind.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, experiment_id: str, config: ExperimentConfig) -> Path:
+        return self.root / f"{config_fingerprint(experiment_id, config)}.json"
+
+    def load(
+        self, experiment_id: str, config: ExperimentConfig
+    ) -> Optional[ExperimentResult]:
+        """The cached result, or ``None`` on miss/corruption."""
+        path = self.path_for(experiment_id, config)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            result = experiment_result_from_json(text)
+        except Exception:
+            # A truncated or stale-format entry must never kill a run;
+            # treat it as a miss and let the live run overwrite it.
+            return None
+        if result.experiment_id != experiment_id:
+            return None
+        return result
+
+    def store(
+        self, experiment_id: str, config: ExperimentConfig, result: ExperimentResult
+    ) -> Path:
+        """Persist one result atomically; returns the entry's path."""
+        path = self.path_for(experiment_id, config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(experiment_result_to_json(result))
+        tmp.replace(path)
+        return path
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+
+def _execute(experiment_id: str, config: ExperimentConfig) -> ExperimentOutcome:
+    """Run one experiment, capturing failure instead of propagating it.
+
+    Module-level so it pickles into pool workers.  Catches ``Exception``
+    broadly (not just :class:`~repro.errors.ExperimentError`): any crash in
+    one experiment must be reported at exit, not abort the other nine.
+    """
+    from repro.experiments import ALL_EXPERIMENTS  # deferred: import cycle
+
+    started = time.perf_counter()
+    try:
+        result = ALL_EXPERIMENTS[experiment_id](config)
+    except Exception as exc:  # noqa: BLE001 - fault isolation is the point
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - started,
+        )
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        result=result,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def _notify(progress: Optional[ProgressFn], event: ProgressEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def run_experiments(
+    ids: Sequence[str],
+    config: ExperimentConfig,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> list[ExperimentOutcome]:
+    """Run ``ids`` under ``config``; returns one outcome per id, in order.
+
+    ``jobs`` caps worker processes (1 = fully in-process).  ``cache``
+    short-circuits ids whose fingerprint already has an entry and stores
+    fresh successes.  ``progress`` receives a :class:`ProgressEvent` as
+    each id starts and finishes (events fire in completion order; the
+    *returned list* is always in request order).
+
+    Failures never raise: a crashed experiment yields an outcome with
+    ``error`` set and the remaining ids still run.
+    """
+    from repro.experiments import ALL_EXPERIMENTS  # deferred: import cycle
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
+
+    total = len(ids)
+    outcomes: dict[str, ExperimentOutcome] = {}
+    completed = 0
+
+    pending: list[str] = []
+    for exp_id in ids:
+        hit = cache.load(exp_id, config) if cache is not None else None
+        if hit is not None:
+            completed += 1
+            outcomes[exp_id] = ExperimentOutcome(
+                experiment_id=exp_id, result=hit, cached=True
+            )
+            _notify(
+                progress,
+                ProgressEvent("cached", exp_id, completed, total),
+            )
+        else:
+            pending.append(exp_id)
+
+    def finish(outcome: ExperimentOutcome) -> None:
+        nonlocal completed
+        completed += 1
+        outcomes[outcome.experiment_id] = outcome
+        if outcome.ok and cache is not None:
+            try:
+                cache.store(outcome.experiment_id, config, outcome.result)
+            except OSError as exc:
+                # The cache is an accelerator, not the deliverable: a full
+                # disk or unwritable --cache-dir must not discard a result
+                # that already finished computing.
+                warnings.warn(
+                    f"result cache write failed for {outcome.experiment_id!r}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        _notify(
+            progress,
+            ProgressEvent(
+                "failed" if not outcome.ok else "done",
+                outcome.experiment_id,
+                completed,
+                total,
+                seconds=outcome.seconds,
+                error=outcome.error,
+            ),
+        )
+
+    if len(pending) == 1 and jobs > 1:
+        # One experiment, many cores: fan its batchable units out instead.
+        exp_id = pending[0]
+        _notify(progress, ProgressEvent("start", exp_id, completed, total))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with unit_executor(pool):
+                finish(_execute(exp_id, config))
+    elif jobs == 1 or len(pending) <= 1:
+        for exp_id in pending:
+            _notify(progress, ProgressEvent("start", exp_id, completed, total))
+            finish(_execute(exp_id, config))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {}
+            for exp_id in pending:
+                _notify(progress, ProgressEvent("start", exp_id, completed, total))
+                futures[pool.submit(_execute, exp_id, config)] = exp_id
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(future.result())
+
+    return [outcomes[exp_id] for exp_id in ids]

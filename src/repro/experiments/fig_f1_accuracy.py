@@ -8,20 +8,52 @@ MAE (and worst branch), one bar group per workload.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.metrics import program_estimation_error
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
     profiled_run,
+    stage,
     tomography_thetas,
 )
 from repro.profiling import SamplingProfiler
 from repro.util.tables import Table
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, workload_by_name
 
-__all__ = ["run", "SAMPLING_INTERVAL_CYCLES"]
+__all__ = ["run", "workload_unit", "SAMPLING_INTERVAL_CYCLES"]
 
 SAMPLING_INTERVAL_CYCLES = 4096
+
+
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Profile one workload, estimate with both methods, score both."""
+    spec = workload_by_name(name)
+    unit = UnitResult()
+    with stage(unit.timings, f"profile:{name}"):
+        run_data = profiled_run(spec, config)
+    with stage(unit.timings, f"estimate:{name}"):
+        tomo = tomography_thetas(run_data, config, method="hybrid")
+    sampler = SamplingProfiler(
+        run_data.program,
+        config.platform,
+        interval_cycles=SAMPLING_INTERVAL_CYCLES,
+        rng=config.seed + 17,
+    )
+    sampled = sampler.collect(run_data.result.counters, run_data.result.total_cycles)
+    for estimator, thetas in (
+        ("code-tomography", tomo),
+        ("pc-sampling", sampled.thetas),
+    ):
+        mae = program_estimation_error(thetas, run_data.truth, "mae")
+        worst = program_estimation_error(thetas, run_data.truth, "max")
+        unit.add_row(spec.name, estimator, mae, worst)
+        unit.add_series(workload=spec.name, estimator=estimator, mae=mae)
+    return unit
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -32,31 +64,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         digits=4,
     )
     series: dict[str, list] = {"workload": [], "estimator": [], "mae": []}
-    for spec in all_workloads():
-        run_data = profiled_run(spec, config)
-        tomo = tomography_thetas(run_data, config, method="hybrid")
-        sampler = SamplingProfiler(
-            run_data.program,
-            config.platform,
-            interval_cycles=SAMPLING_INTERVAL_CYCLES,
-            rng=config.seed + 17,
-        )
-        sampled = sampler.collect(run_data.result.counters, run_data.result.total_cycles)
-        for estimator, thetas in (
-            ("code-tomography", tomo),
-            ("pc-sampling", sampled.thetas),
-        ):
-            mae = program_estimation_error(thetas, run_data.truth, "mae")
-            worst = program_estimation_error(thetas, run_data.truth, "max")
-            table.add_row(spec.name, estimator, mae, worst)
-            series["workload"].append(spec.name)
-            series["estimator"].append(estimator)
-            series["mae"].append(mae)
+    units = map_units(
+        partial(workload_unit, config=config), [s.name for s in all_workloads()]
+    )
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f1",
         title="estimation accuracy per workload",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: tomography MAE beats PC sampling on the suite "
             "aggregate and stays well under 0.10 wherever branches are "

@@ -8,70 +8,81 @@ rate until timer quantization floors it.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis.metrics import program_estimation_error
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
     profiled_run,
     tomography_thetas,
 )
 from repro.util.tables import Table
 from repro.workloads.registry import workload_by_name
 
-__all__ = ["run", "SAMPLE_COUNTS", "WORKLOADS"]
+__all__ = ["run", "workload_unit", "SAMPLE_COUNTS", "WORKLOADS"]
 
 SAMPLE_COUNTS = (50, 100, 200, 500, 1000, 2000, 5000)
 WORKLOADS = ("sense", "event-detect", "oscilloscope")
 
 
-def run(config: ExperimentConfig) -> ExperimentResult:
-    """Sweep the sample budget on three representative workloads."""
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Sweep the sample budget on one workload (one batchable unit)."""
     counts = SAMPLE_COUNTS[:4] if config.quick else SAMPLE_COUNTS
     max_needed = max(counts)
+    spec = workload_by_name(name)
+    # One long run provides the pool; budgets subsample it so every
+    # point sees the same ground truth.
+    base = ExperimentConfig(
+        platform=config.platform,
+        activations=max_needed,
+        seed=config.seed,
+        quick=False,
+        scenario=config.scenario,
+    )
+    run_data = profiled_run(spec, base)
+    repetitions = 1 if config.quick else 3
+    unit = UnitResult()
+    for n in counts:
+        maes = []
+        for rep in range(repetitions):
+            subset = run_data.dataset.subsample(n, rng=config.seed + n + 7919 * rep)
+            run_like = type(run_data)(
+                spec=run_data.spec,
+                program=run_data.program,
+                result=run_data.result,
+                dataset=subset,
+                truth=run_data.truth,
+            )
+            thetas = tomography_thetas(run_like, config, method="moments")
+            maes.append(program_estimation_error(thetas, run_data.truth, "mae"))
+        mae = float(np.mean(maes))
+        unit.add_row(name, n, mae)
+        unit.add_series(workload=name, samples=n, mae=mae)
+    return unit
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Sweep the sample budget on three representative workloads."""
     table = Table(
         "F2: estimation error vs timing-sample budget",
         ["workload", "samples", "mae"],
         digits=4,
     )
     series: dict[str, list] = {"workload": [], "samples": [], "mae": []}
-    for name in WORKLOADS:
-        spec = workload_by_name(name)
-        # One long run provides the pool; budgets subsample it so every
-        # point sees the same ground truth.
-        base = ExperimentConfig(
-            platform=config.platform,
-            activations=max_needed,
-            seed=config.seed,
-            quick=False,
-            scenario=config.scenario,
-        )
-        run_data = profiled_run(spec, base)
-        repetitions = 1 if config.quick else 3
-        for n in counts:
-            maes = []
-            for rep in range(repetitions):
-                subset = run_data.dataset.subsample(n, rng=config.seed + n + 7919 * rep)
-                run_like = type(run_data)(
-                    spec=run_data.spec,
-                    program=run_data.program,
-                    result=run_data.result,
-                    dataset=subset,
-                    truth=run_data.truth,
-                )
-                thetas = tomography_thetas(run_like, config, method="moments")
-                maes.append(program_estimation_error(thetas, run_data.truth, "mae"))
-            mae = float(np.mean(maes))
-            table.add_row(name, n, mae)
-            series["workload"].append(name)
-            series["samples"].append(n)
-            series["mae"].append(mae)
+    units = map_units(partial(workload_unit, config=config), WORKLOADS)
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f2",
         title="accuracy vs sample count",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: MAE decreases (roughly ~1/sqrt(n)) as the timing "
             "sample budget grows."

@@ -8,10 +8,15 @@ an ideal cycle counter (1 cycle/tick) to far coarser than a 32 kHz crystal
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.metrics import program_estimation_error
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
     profiled_run,
     tomography_thetas,
 )
@@ -19,16 +24,48 @@ from repro.mote.timer import TimestampTimer
 from repro.util.tables import Table
 from repro.workloads.registry import workload_by_name
 
-__all__ = ["run", "TICK_SWEEP", "WORKLOADS"]
+__all__ = ["run", "workload_unit", "TICK_SWEEP", "WORKLOADS"]
 
 TICK_SWEEP = (1, 8, 32, 64, 128, 225, 512, 1024)
 WORKLOADS = ("sense", "event-detect")
 _JITTER_CYCLES = 20.0
 
 
+def _one_point(name: str, timer: TimestampTimer, config: ExperimentConfig) -> float:
+    spec = workload_by_name(name)
+    point_config = ExperimentConfig(
+        platform=config.platform.with_timer(timer),
+        activations=config.activations,
+        seed=config.seed,
+        quick=config.quick,
+        scenario=config.scenario,
+    )
+    run_data = profiled_run(spec, point_config)
+    thetas = tomography_thetas(run_data, point_config, method="moments")
+    return program_estimation_error(thetas, run_data.truth, "mae")
+
+
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Sweep timer resolutions (plus one jittered point) on one workload."""
+    ticks = TICK_SWEEP[::2] if config.quick else TICK_SWEEP
+    unit = UnitResult()
+    for cpt in ticks:
+        mae = _one_point(name, TimestampTimer(cycles_per_tick=cpt), config)
+        unit.add_row(name, cpt, 0.0, mae)
+        unit.add_series(workload=name, cycles_per_tick=cpt, jitter=0.0, mae=mae)
+    # One realistic-jitter point at the 32 kHz-class resolution.
+    mae = _one_point(
+        name, TimestampTimer(cycles_per_tick=225, jitter_cycles=_JITTER_CYCLES), config
+    )
+    unit.add_row(name, 225, _JITTER_CYCLES, mae)
+    unit.add_series(
+        workload=name, cycles_per_tick=225, jitter=_JITTER_CYCLES, mae=mae
+    )
+    return unit
+
+
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Sweep cycles-per-tick (and one jittered point) on two workloads."""
-    ticks = TICK_SWEEP[::2] if config.quick else TICK_SWEEP
     table = Table(
         "F3: estimation error vs timer resolution",
         ["workload", "cycles_per_tick", "jitter_cyc", "mae"],
@@ -40,42 +77,14 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "jitter": [],
         "mae": [],
     }
-
-    def one_point(name: str, timer: TimestampTimer) -> float:
-        spec = workload_by_name(name)
-        point_config = ExperimentConfig(
-            platform=config.platform.with_timer(timer),
-            activations=config.activations,
-            seed=config.seed,
-            quick=config.quick,
-            scenario=config.scenario,
-        )
-        run_data = profiled_run(spec, point_config)
-        thetas = tomography_thetas(run_data, point_config, method="moments")
-        return program_estimation_error(thetas, run_data.truth, "mae")
-
-    for name in WORKLOADS:
-        for cpt in ticks:
-            mae = one_point(name, TimestampTimer(cycles_per_tick=cpt))
-            table.add_row(name, cpt, 0.0, mae)
-            series["workload"].append(name)
-            series["cycles_per_tick"].append(cpt)
-            series["jitter"].append(0.0)
-            series["mae"].append(mae)
-        # One realistic-jitter point at the 32 kHz-class resolution.
-        mae = one_point(
-            name, TimestampTimer(cycles_per_tick=225, jitter_cycles=_JITTER_CYCLES)
-        )
-        table.add_row(name, 225, _JITTER_CYCLES, mae)
-        series["workload"].append(name)
-        series["cycles_per_tick"].append(225)
-        series["jitter"].append(_JITTER_CYCLES)
-        series["mae"].append(mae)
+    units = map_units(partial(workload_unit, config=config), WORKLOADS)
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f3",
         title="accuracy vs timer resolution",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: error grows with coarser ticks but remains usable "
             "at the 32 kHz-class (225 cycles/tick) setting."

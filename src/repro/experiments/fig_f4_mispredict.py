@@ -10,9 +10,14 @@ generalize, not memorize.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
     profiled_run,
     tomography_thetas,
 )
@@ -20,11 +25,60 @@ from repro.mote.predictor import AlwaysNotTakenPredictor, BTFNPredictor
 from repro.placement import optimize_program_layout, random_program_layout
 from repro.sim import run_program
 from repro.util.tables import Table
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, workload_by_name
 
-__all__ = ["run", "STRATEGIES"]
+__all__ = ["run", "pair_unit", "STRATEGIES", "PREDICTOR_KEYS"]
 
 STRATEGIES = ("source-order", "random", "tomography", "oracle")
+
+# Keyed by a picklable string so units can rebuild the predictor in a worker.
+_PREDICTORS = {"btfn": BTFNPredictor, "always-not-taken": AlwaysNotTakenPredictor}
+PREDICTOR_KEYS = ("btfn", "always-not-taken")
+
+
+def pair_unit(pair: tuple[str, str], config: ExperimentConfig) -> UnitResult:
+    """One (predictor, workload) pair: profile, place, evaluate all strategies."""
+    predictor_key, workload = pair
+    predictor = _PREDICTORS[predictor_key]()
+    spec = workload_by_name(workload)
+    predictor_config = ExperimentConfig(
+        platform=config.platform.with_predictor(predictor),
+        activations=config.activations,
+        seed=config.seed,
+        quick=config.quick,
+        scenario=config.scenario,
+    )
+    profile_data = profiled_run(spec, predictor_config)
+    tomo_thetas = tomography_thetas(profile_data, predictor_config)
+    layouts = {
+        "source-order": None,
+        "random": random_program_layout(profile_data.program, rng=config.seed),
+        "tomography": optimize_program_layout(profile_data.program, tomo_thetas),
+        "oracle": optimize_program_layout(profile_data.program, profile_data.truth),
+    }
+    unit = UnitResult()
+    for strategy in STRATEGIES:
+        sensors = spec.sensors(
+            scenario=config.scenario, rng=config.seed + 1000  # fresh inputs
+        )
+        result = run_program(
+            profile_data.program,
+            predictor_config.platform,
+            sensors,
+            activations=predictor_config.effective_activations,
+            layout=layouts[strategy],
+        )
+        rate = result.counters.mispredict_rate
+        unit.add_row(
+            spec.name, predictor.name, strategy, rate, result.counters.taken_rate
+        )
+        unit.add_series(
+            workload=spec.name,
+            predictor=predictor.name,
+            strategy=strategy,
+            mispredict_rate=rate,
+        )
+    return unit
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -40,47 +94,17 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "strategy": [],
         "mispredict_rate": [],
     }
-    for predictor in (BTFNPredictor(), AlwaysNotTakenPredictor()):
-        predictor_config = ExperimentConfig(
-            platform=config.platform.with_predictor(predictor),
-            activations=config.activations,
-            seed=config.seed,
-            quick=config.quick,
-            scenario=config.scenario,
-        )
-        for spec in all_workloads():
-            profile_data = profiled_run(spec, predictor_config)
-            tomo_thetas = tomography_thetas(profile_data, predictor_config)
-            layouts = {
-                "source-order": None,
-                "random": random_program_layout(profile_data.program, rng=config.seed),
-                "tomography": optimize_program_layout(profile_data.program, tomo_thetas),
-                "oracle": optimize_program_layout(profile_data.program, profile_data.truth),
-            }
-            for strategy in STRATEGIES:
-                sensors = spec.sensors(
-                    scenario=config.scenario, rng=config.seed + 1000  # fresh inputs
-                )
-                result = run_program(
-                    profile_data.program,
-                    predictor_config.platform,
-                    sensors,
-                    activations=predictor_config.effective_activations,
-                    layout=layouts[strategy],
-                )
-                rate = result.counters.mispredict_rate
-                table.add_row(
-                    spec.name, predictor.name, strategy, rate, result.counters.taken_rate
-                )
-                series["workload"].append(spec.name)
-                series["predictor"].append(predictor.name)
-                series["strategy"].append(strategy)
-                series["mispredict_rate"].append(rate)
+    pairs = [
+        (key, spec.name) for key in PREDICTOR_KEYS for spec in all_workloads()
+    ]
+    units = map_units(partial(pair_unit, config=config), pairs)
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f4",
         title="misprediction rate by placement strategy",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: tomography-guided placement tracks oracle-guided "
             "closely and beats source order on aggregate."

@@ -7,18 +7,54 @@ the speedup of the profiled placements over source order, on fresh inputs.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
     profiled_run,
     tomography_thetas,
 )
 from repro.placement import optimize_program_layout, random_program_layout
 from repro.sim import run_program
 from repro.util.tables import Table
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, workload_by_name
 
-__all__ = ["run"]
+__all__ = ["run", "workload_unit"]
+
+
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Cycles/activation for every placement strategy on one workload."""
+    spec = workload_by_name(name)
+    profile_data = profiled_run(spec, config)
+    tomo_thetas = tomography_thetas(profile_data, config)
+    layouts = {
+        "source-order": None,
+        "random": random_program_layout(profile_data.program, rng=config.seed),
+        "tomography": optimize_program_layout(profile_data.program, tomo_thetas),
+        "oracle": optimize_program_layout(profile_data.program, profile_data.truth),
+    }
+    cycles: dict[str, float] = {}
+    for strategy, layout in layouts.items():
+        sensors = spec.sensors(scenario=config.scenario, rng=config.seed + 1000)
+        result = run_program(
+            profile_data.program,
+            config.platform,
+            sensors,
+            activations=config.effective_activations,
+            layout=layout,
+        )
+        cycles[strategy] = result.cycles_per_activation
+    base = cycles["source-order"]
+    unit = UnitResult()
+    for strategy in ("source-order", "random", "tomography", "oracle"):
+        speedup = base / cycles[strategy] if cycles[strategy] > 0 else float("nan")
+        unit.add_row(spec.name, strategy, cycles[strategy], speedup)
+        unit.add_series(workload=spec.name, strategy=strategy, speedup=speedup)
+    return unit
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -29,38 +65,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         digits=4,
     )
     series: dict[str, list] = {"workload": [], "strategy": [], "speedup": []}
-    for spec in all_workloads():
-        profile_data = profiled_run(spec, config)
-        tomo_thetas = tomography_thetas(profile_data, config)
-        layouts = {
-            "source-order": None,
-            "random": random_program_layout(profile_data.program, rng=config.seed),
-            "tomography": optimize_program_layout(profile_data.program, tomo_thetas),
-            "oracle": optimize_program_layout(profile_data.program, profile_data.truth),
-        }
-        cycles: dict[str, float] = {}
-        for strategy, layout in layouts.items():
-            sensors = spec.sensors(scenario=config.scenario, rng=config.seed + 1000)
-            result = run_program(
-                profile_data.program,
-                config.platform,
-                sensors,
-                activations=config.effective_activations,
-                layout=layout,
-            )
-            cycles[strategy] = result.cycles_per_activation
-        base = cycles["source-order"]
-        for strategy in ("source-order", "random", "tomography", "oracle"):
-            speedup = base / cycles[strategy] if cycles[strategy] > 0 else float("nan")
-            table.add_row(spec.name, strategy, cycles[strategy], speedup)
-            series["workload"].append(spec.name)
-            series["strategy"].append(strategy)
-            series["speedup"].append(speedup)
+    units = map_units(
+        partial(workload_unit, config=config), [s.name for s in all_workloads()]
+    )
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f5",
         title="cycle reduction from placement",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: tomography speedup ≈ oracle speedup, both ≥ 1.0 "
             "on aggregate (branch costs are a minority of total cycles, so "

@@ -9,10 +9,15 @@ end-to-end quantity a user cares about).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.metrics import program_estimation_error
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
     profiled_run,
     tomography_thetas,
 )
@@ -21,10 +26,48 @@ from repro.sim import run_program
 from repro.util.tables import Table
 from repro.workloads.registry import workload_by_name
 
-__all__ = ["run", "SCENARIOS", "WORKLOADS"]
+__all__ = ["run", "pair_unit", "SCENARIOS", "WORKLOADS"]
 
 SCENARIOS = ("default", "bursty", "drifting", "correlated")
 WORKLOADS = ("sense", "event-detect")
+
+
+def pair_unit(pair: tuple[str, str], config: ExperimentConfig) -> UnitResult:
+    """One (workload, scenario) pair: estimate, place, evaluate."""
+    name, scenario = pair
+    spec = workload_by_name(name)
+    scenario_config = ExperimentConfig(
+        platform=config.platform,
+        activations=config.activations,
+        seed=config.seed,
+        quick=config.quick,
+        scenario=scenario,
+    )
+    run_data = profiled_run(spec, scenario_config)
+    thetas = tomography_thetas(run_data, scenario_config)
+    mae = program_estimation_error(thetas, run_data.truth, "mae")
+
+    layout = optimize_program_layout(run_data.program, thetas)
+    rates = {}
+    for label, lay in (("source", None), ("tomo", layout)):
+        sensors = spec.sensors(scenario=scenario, rng=config.seed + 1000)
+        result = run_program(
+            run_data.program,
+            scenario_config.platform,
+            sensors,
+            activations=scenario_config.effective_activations,
+            layout=lay,
+        )
+        rates[label] = result.counters.mispredict_rate
+    unit = UnitResult()
+    unit.add_row(name, scenario, mae, rates["source"], rates["tomo"])
+    unit.add_series(
+        workload=name,
+        scenario=scenario,
+        mae=mae,
+        improvement=rates["source"] - rates["tomo"],
+    )
+    return unit
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -40,42 +83,15 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "mae": [],
         "improvement": [],
     }
-    for name in WORKLOADS:
-        spec = workload_by_name(name)
-        for scenario in SCENARIOS:
-            scenario_config = ExperimentConfig(
-                platform=config.platform,
-                activations=config.activations,
-                seed=config.seed,
-                quick=config.quick,
-                scenario=scenario,
-            )
-            run_data = profiled_run(spec, scenario_config)
-            thetas = tomography_thetas(run_data, scenario_config)
-            mae = program_estimation_error(thetas, run_data.truth, "mae")
-
-            layout = optimize_program_layout(run_data.program, thetas)
-            rates = {}
-            for label, lay in (("source", None), ("tomo", layout)):
-                sensors = spec.sensors(scenario=scenario, rng=config.seed + 1000)
-                result = run_program(
-                    run_data.program,
-                    scenario_config.platform,
-                    sensors,
-                    activations=scenario_config.effective_activations,
-                    layout=lay,
-                )
-                rates[label] = result.counters.mispredict_rate
-            table.add_row(name, scenario, mae, rates["source"], rates["tomo"])
-            series["workload"].append(name)
-            series["scenario"].append(scenario)
-            series["mae"].append(mae)
-            series["improvement"].append(rates["source"] - rates["tomo"])
+    pairs = [(name, scenario) for name in WORKLOADS for scenario in SCENARIOS]
+    units = map_units(partial(pair_unit, config=config), pairs)
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f6",
         title="robustness to input mismatch",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: error grows under correlated/bursty inputs but the "
             "placement guided by the (time-averaged) estimate still reduces "

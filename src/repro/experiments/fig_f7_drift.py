@@ -11,17 +11,25 @@ stationary inputs stays flat and quiet.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.core.drift import detect_drift, estimate_epochs
-from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
+)
 from repro.lang import compile_source
 from repro.profiling import TimingProfiler
 from repro.sim import ProgramTimingModel, run_program
 from repro.util.tables import Table
 from repro.workloads.inputs import build_sensors
 
-__all__ = ["run", "PROBE_SOURCE", "EPOCHS"]
+__all__ = ["run", "scenario_unit", "PROBE_SOURCE", "EPOCHS", "SCENARIOS"]
 
 # One strongly timing-visible branch: P(sense > 700) under the scenario.
 PROBE_SOURCE = """
@@ -35,6 +43,7 @@ proc main() {
 """
 
 EPOCHS = 6
+SCENARIOS = ("default", "drifting")
 _CHANNELS = {"ch": (620.0, 120.0)}
 
 
@@ -59,6 +68,22 @@ def _track(config: ExperimentConfig, scenario: str):
     )
 
 
+def scenario_unit(scenario: str, config: ExperimentConfig) -> UnitResult:
+    """Track one input scenario's per-epoch trajectory (one batchable unit)."""
+    track = _track(config, scenario)
+    events = detect_drift(track, threshold=0.07)
+    unit = UnitResult()
+    for epoch in range(track.n_epochs):
+        theta = float(track.thetas[epoch, 0])
+        unit.add_row(scenario, epoch, theta, track.n_samples[epoch])
+        unit.add_series(scenario=scenario, epoch=epoch, theta=theta)
+    unit.add_series(
+        total_variation=(scenario, float(track.total_variation()[0])),
+        drift_events=(scenario, len(events)),
+    )
+    return unit
+
+
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Epoch-sliced estimation under stationary vs drifting inputs."""
     table = Table(
@@ -72,24 +97,14 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "total_variation": [],
         "drift_events": [],
     }
-    for scenario in ("default", "drifting"):
-        track = _track(config, scenario)
-        events = detect_drift(track, threshold=0.07)
-        for epoch in range(track.n_epochs):
-            theta = float(track.thetas[epoch, 0])
-            table.add_row(scenario, epoch, theta, track.n_samples[epoch])
-            series["scenario"].append(scenario)
-            series["epoch"].append(epoch)
-            series["theta"].append(theta)
-        series["total_variation"].append(
-            (scenario, float(track.total_variation()[0]))
-        )
-        series["drift_events"].append((scenario, len(events)))
+    units = map_units(partial(scenario_unit, config=config), SCENARIOS)
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="f7",
         title="drift tracking (extension)",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: total variation of the per-epoch estimate is "
             "several times larger under the drifting scenario, and the "

@@ -4,20 +4,38 @@ Examples::
 
     repro-experiments --list
     repro-experiments t1 f1 f4
-    repro-experiments --all --quick
+    repro-experiments --all --quick --jobs 4
+    repro-experiments --all --no-cache --progress --json run.json
+
+Runs go through :mod:`repro.experiments.engine`: ``--jobs N`` fans
+independent experiments (or, for a single experiment, its batchable units)
+over N worker processes with bit-identical output to ``--jobs 1``; results
+are cached under ``--cache-dir`` (default ``.repro-cache/``) keyed by the
+full configuration, so warm re-runs skip completed work — disable with
+``--no-cache``.  A failing experiment no longer aborts the run: every
+requested id executes and failures are reported together at exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.errors import ExperimentError
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.common import ExperimentConfig
+from repro.experiments.engine import (
+    DEFAULT_CACHE_DIR,
+    ExperimentOutcome,
+    ProgressEvent,
+    ResultCache,
+    run_experiments,
+)
 from repro.mote.platform import MICAZ_LIKE, TELOSB_LIKE
+from repro.profiling.serialize import json_default
 
 __all__ = ["main"]
 
@@ -50,7 +68,104 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--activations", type=int, default=3000, help="profiling activations per run"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; output is bit-identical at any N (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always recompute; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-experiment scheduling/timing lines to stderr",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="write a structured run report (results, timings, failures) to PATH",
+    )
     return parser
+
+
+def _progress_printer(event: ProgressEvent) -> None:
+    if event.kind == "start":
+        print(f"[{event.experiment_id}] started", file=sys.stderr)
+    elif event.kind == "cached":
+        print(
+            f"[{event.experiment_id}] cache hit ({event.completed}/{event.total})",
+            file=sys.stderr,
+        )
+    elif event.kind == "failed":
+        print(
+            f"[{event.experiment_id}] FAILED after {event.seconds:.1f}s "
+            f"({event.completed}/{event.total}): {event.error}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"[{event.experiment_id}] done in {event.seconds:.1f}s "
+            f"({event.completed}/{event.total})",
+            file=sys.stderr,
+        )
+
+
+def _report_payload(
+    outcomes: Sequence[ExperimentOutcome], args: argparse.Namespace, wall_seconds: float
+) -> dict:
+    """The ``--json`` run report: config echo + per-experiment outcomes."""
+    return {
+        "config": {
+            "platform": args.platform,
+            "activations": args.activations,
+            "seed": args.seed,
+            "quick": args.quick,
+            "jobs": args.jobs,
+            "cache": not args.no_cache,
+        },
+        "wall_seconds": wall_seconds,
+        "experiments": [
+            {
+                "id": o.experiment_id,
+                "ok": o.ok,
+                "cached": o.cached,
+                "seconds": o.seconds,
+                "error": o.error,
+                "title": o.result.title if o.result else None,
+                "tables": (
+                    [
+                        {
+                            "title": t.title,
+                            "columns": list(t.columns),
+                            "rows": [list(r) for r in t.rows],
+                        }
+                        for t in o.result.tables
+                    ]
+                    if o.result
+                    else []
+                ),
+                "series": o.result.series if o.result else {},
+                "notes": o.result.notes if o.result else [],
+                "timings": o.result.timings if o.result else {},
+            }
+            for o in outcomes
+        ],
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -73,6 +188,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.json_path is not None and not args.json_path.parent.is_dir():
+        # Catch the typo'd path before hours of compute, not after.
+        print(f"--json: directory does not exist: {args.json_path.parent}", file=sys.stderr)
+        return 2
 
     config = ExperimentConfig(
         platform=_PLATFORMS[args.platform],
@@ -80,18 +202,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         quick=args.quick,
     )
-    for exp_id in ids:
-        started = time.perf_counter()
-        try:
-            result = ALL_EXPERIMENTS[exp_id](config)
-        except ExperimentError as exc:
-            print(f"{exp_id}: failed: {exc}", file=sys.stderr)
-            return 1
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print(f"[{exp_id} finished in {elapsed:.1f}s]")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    started = time.perf_counter()
+    outcomes = run_experiments(
+        ids,
+        config,
+        jobs=args.jobs,
+        cache=cache,
+        progress=_progress_printer if args.progress else None,
+    )
+    wall = time.perf_counter() - started
+
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        print(outcome.result.render())
+        suffix = ", cached" if outcome.cached else ""
+        print(f"[{outcome.experiment_id} finished in {outcome.seconds:.1f}s{suffix}]")
+        if args.progress and outcome.result.timings:
+            for stage_name in sorted(outcome.result.timings):
+                seconds = outcome.result.timings[stage_name]
+                print(
+                    f"  [{outcome.experiment_id}] {stage_name}: {seconds:.2f}s",
+                    file=sys.stderr,
+                )
         print()
-    return 0
+
+    report_error = None
+    if args.json_path is not None:
+        try:
+            args.json_path.write_text(
+                json.dumps(
+                    _report_payload(outcomes, args, wall), indent=2, default=json_default
+                )
+                + "\n"
+            )
+        except OSError as exc:
+            report_error = f"--json: could not write {args.json_path}: {exc}"
+            print(report_error, file=sys.stderr)
+
+    failures = [o for o in outcomes if not o.ok]
+    cached_n = sum(1 for o in outcomes if o.cached)
+    print(
+        f"{len(outcomes) - len(failures)}/{len(outcomes)} experiments ok "
+        f"({cached_n} cached) in {wall:.1f}s"
+    )
+    if failures:
+        for outcome in failures:
+            print(f"{outcome.experiment_id}: failed: {outcome.error}", file=sys.stderr)
+        return 1
+    return 1 if report_error else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,11 +8,40 @@ budgets.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentConfig, ExperimentResult
-from repro.util.tables import Table
-from repro.workloads.registry import all_workloads
+from functools import partial
 
-__all__ = ["run"]
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
+)
+from repro.util.tables import Table
+from repro.workloads.registry import all_workloads, workload_by_name
+
+__all__ = ["run", "workload_unit"]
+
+
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Static census + memory footprint of one workload (one batchable unit)."""
+    spec = workload_by_name(name)
+    memory = config.platform.memory
+    program = spec.program()
+    totals = program.totals()
+    unit = UnitResult()
+    unit.add_row(
+        spec.name,
+        totals["procedures"],
+        totals["blocks"],
+        totals["branches"],
+        totals["loops"],
+        totals["calls"],
+        memory.program_rom(program),
+        memory.program_ram(program),
+    )
+    unit.add_series(workload=spec.name, branches=totals["branches"])
+    return unit
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -22,29 +51,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         ["workload", "procs", "blocks", "branches", "loops", "calls", "rom_B", "ram_B"],
     )
     series: dict[str, list] = {"workload": [], "branches": []}
-    memory = config.platform.memory
-    for spec in all_workloads():
-        program = spec.program()
-        totals = program.totals()
-        rom = memory.program_rom(program)
-        ram = memory.program_ram(program)
-        table.add_row(
-            spec.name,
-            totals["procedures"],
-            totals["blocks"],
-            totals["branches"],
-            totals["loops"],
-            totals["calls"],
-            rom,
-            ram,
-        )
-        series["workload"].append(spec.name)
-        series["branches"].append(totals["branches"])
+    units = map_units(
+        partial(workload_unit, config=config), [s.name for s in all_workloads()]
+    )
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="t1",
         title="benchmark characteristics",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "All workloads fit the micaz-like 128 KiB flash / 4 KiB RAM budget "
             "with three orders of magnitude to spare."

@@ -8,18 +8,60 @@ collector pays per procedure and per invocation — far less on branchy code.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentConfig, ExperimentResult, profiled_run
+from functools import partial
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
+    profiled_run,
+)
 from repro.profiling import (
     edge_instrumentation_overhead,
     sampling_overhead,
     timing_overhead,
 )
 from repro.util.tables import Table
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, workload_by_name
 
-__all__ = ["run", "SAMPLING_INTERVAL_CYCLES"]
+__all__ = ["run", "workload_unit", "SAMPLING_INTERVAL_CYCLES"]
 
 SAMPLING_INTERVAL_CYCLES = 4096
+
+
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Price all three profiling schemes on one workload's reference run."""
+    spec = workload_by_name(name)
+    unit = UnitResult()
+    run_data = profiled_run(spec, config)
+    base_cycles = run_data.result.total_cycles
+    reports = [
+        edge_instrumentation_overhead(run_data.program, run_data.result, config.platform),
+        sampling_overhead(
+            run_data.program, run_data.result, config.platform, SAMPLING_INTERVAL_CYCLES
+        ),
+        timing_overhead(run_data.program, run_data.result, config.platform),
+    ]
+    for report in reports:
+        pct = 100.0 * report.runtime_overhead_fraction(base_cycles)
+        unit.add_row(
+            spec.name,
+            report.scheme,
+            report.rom_bytes,
+            report.ram_bytes,
+            pct,
+            report.upload_packets,
+            report.energy_mj,
+        )
+        unit.add_series(
+            workload=spec.name,
+            scheme=report.scheme,
+            runtime_pct=pct,
+            ram_bytes=report.ram_bytes,
+        )
+    return unit
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -35,36 +77,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "runtime_pct": [],
         "ram_bytes": [],
     }
-    for spec in all_workloads():
-        run_data = profiled_run(spec, config)
-        base_cycles = run_data.result.total_cycles
-        reports = [
-            edge_instrumentation_overhead(run_data.program, run_data.result, config.platform),
-            sampling_overhead(
-                run_data.program, run_data.result, config.platform, SAMPLING_INTERVAL_CYCLES
-            ),
-            timing_overhead(run_data.program, run_data.result, config.platform),
-        ]
-        for report in reports:
-            pct = 100.0 * report.runtime_overhead_fraction(base_cycles)
-            table.add_row(
-                spec.name,
-                report.scheme,
-                report.rom_bytes,
-                report.ram_bytes,
-                pct,
-                report.upload_packets,
-                report.energy_mj,
-            )
-            series["workload"].append(spec.name)
-            series["scheme"].append(report.scheme)
-            series["runtime_pct"].append(pct)
-            series["ram_bytes"].append(report.ram_bytes)
+    units = map_units(
+        partial(workload_unit, config=config), [s.name for s in all_workloads()]
+    )
+    timings = combine_units(units, table, series)
     return ExperimentResult(
         experiment_id="t2",
         title="profiling overhead",
         tables=[table],
         series=series,
+        timings=timings,
         notes=[
             "Shape check: code-tomography runtime and RAM overhead must be well "
             "below edge-instrumentation on every workload."

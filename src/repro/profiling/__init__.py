@@ -32,6 +32,8 @@ from repro.profiling.serialize import (
     dataset_to_json,
     estimation_from_json,
     estimation_to_json,
+    experiment_result_from_json,
+    experiment_result_to_json,
     layout_from_json,
     layout_to_json,
 )
@@ -56,4 +58,6 @@ __all__ = [
     "estimation_from_json",
     "layout_to_json",
     "layout_from_json",
+    "experiment_result_to_json",
+    "experiment_result_from_json",
 ]

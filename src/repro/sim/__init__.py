@@ -16,7 +16,12 @@ inverts.
 
 from repro.sim.trace import ExecutionCounters, InvocationRecord, RunResult
 from repro.sim.interpreter import Interpreter
-from repro.sim.runner import run_program
+from repro.sim.runner import (
+    merge_run_results,
+    run_program,
+    run_program_batched,
+    split_activations,
+)
 from repro.sim.timing import ProcedureTimingModel, ProgramTimingModel
 
 __all__ = [
@@ -25,6 +30,9 @@ __all__ = [
     "RunResult",
     "Interpreter",
     "run_program",
+    "run_program_batched",
+    "split_activations",
+    "merge_run_results",
     "ProcedureTimingModel",
     "ProgramTimingModel",
 ]

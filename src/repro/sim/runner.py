@@ -1,18 +1,41 @@
-"""Batch execution driver: run many activations, aggregate the results."""
+"""Batch execution driver: run many activations, aggregate the results.
+
+Two entry points:
+
+* :func:`run_program` — the original single-interpreter driver: one
+  :class:`~repro.sim.interpreter.Interpreter` executes every activation so
+  program globals persist across the whole run, as on a real mote.
+* :func:`run_program_batched` — the scalable driver the parallel experiment
+  engine builds on: activations are split into self-contained batches, each
+  with its own interpreter and its own RNG stream spawned *up front* in
+  index order (see :mod:`repro.util.rng`), then merged in index order.
+  Because a batch depends only on its index — never on which worker ran it
+  or when — executing the batches serially, on a thread pool, or on a
+  process pool produces bit-identical merged results.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.mote.platform import Platform
-from repro.mote.radio import Radio
 from repro.mote.sensors import SensorSuite
 from repro.ir.program import Program
 from repro.placement.layout import ProgramLayout
 from repro.sim.interpreter import Interpreter
-from repro.sim.trace import RunResult
+from repro.sim.trace import ExecutionCounters, InvocationRecord, RunResult
+from repro.util.rng import RngSource, spawn_seed_sequences
 
-__all__ = ["run_program"]
+__all__ = [
+    "run_program",
+    "run_program_batched",
+    "split_activations",
+    "merge_run_results",
+]
+
+SensorFactory = Callable[[np.random.Generator], SensorSuite]
 
 
 def run_program(
@@ -55,3 +78,144 @@ def run_program(
         energy_mj=energy,
         radio_packets=interp.radio.packet_count,
     )
+
+
+def split_activations(total: int, batch_size: int) -> list[int]:
+    """Partition ``total`` activations into batch sizes.
+
+    Every batch is ``batch_size`` except a possibly smaller trailing
+    remainder, so the partition is a pure function of ``(total,
+    batch_size)`` — a prerequisite for schedule-independent results.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    sizes = [batch_size] * (total // batch_size)
+    if total % batch_size:
+        sizes.append(total % batch_size)
+    return sizes
+
+
+def merge_run_results(results: Sequence[RunResult]) -> RunResult:
+    """Combine per-batch results into one aggregate, in the given order.
+
+    Invocation records are re-timestamped onto one continuous cycle axis
+    (batch ``i`` starts where batch ``i-1`` ended) so downstream consumers
+    see a single run; durations are unaffected by the shift.  Energy is a
+    linear function of activity counts, so summing per-batch energies
+    equals pricing the merged counts.
+    """
+    if not results:
+        raise ValueError("cannot merge zero run results")
+    names = {r.program_name for r in results}
+    if len(names) > 1:
+        raise ValueError(f"refusing to merge results from different programs: {names}")
+    counters = ExecutionCounters()
+    records: list[InvocationRecord] = []
+    offset = 0
+    activations = 0
+    energy = 0.0
+    packets = 0
+    for result in results:
+        counters.merge(result.counters)
+        for rec in result.records:
+            records.append(
+                InvocationRecord(
+                    procedure=rec.procedure,
+                    entry_cycle=rec.entry_cycle + offset,
+                    exit_cycle=rec.exit_cycle + offset,
+                    depth=rec.depth,
+                    path=rec.path,
+                )
+            )
+        offset += result.total_cycles
+        activations += result.activations
+        energy += result.energy_mj
+        packets += result.radio_packets
+    return RunResult(
+        program_name=results[0].program_name,
+        activations=activations,
+        total_cycles=offset,
+        counters=counters,
+        records=records,
+        energy_mj=energy,
+        radio_packets=packets,
+    )
+
+
+def _run_batch(
+    program: Program,
+    platform: Platform,
+    sensor_factory: SensorFactory,
+    seed_seq: np.random.SeedSequence,
+    activations: int,
+    layout: Optional[ProgramLayout],
+    record_paths: bool,
+) -> RunResult:
+    """One self-contained batch: fresh interpreter, pre-spawned RNG stream."""
+    sensors = sensor_factory(np.random.default_rng(seed_seq))
+    return run_program(
+        program,
+        platform,
+        sensors,
+        activations=activations,
+        layout=layout,
+        record_paths=record_paths,
+    )
+
+
+def run_program_batched(
+    program: Program,
+    platform: Platform,
+    sensor_factory: SensorFactory,
+    activations: int,
+    batch_size: int,
+    rng: RngSource = None,
+    layout: Optional[ProgramLayout] = None,
+    record_paths: bool = False,
+    map_fn: Callable[..., Iterable[RunResult]] = map,
+) -> RunResult:
+    """Run activations in independent batches and merge the results.
+
+    ``sensor_factory`` builds a fresh :class:`SensorSuite` from the batch's
+    generator (e.g. ``lambda g: build_sensors(channels, scenario, rng=g)``;
+    pass a picklable callable when using a process pool).  ``map_fn``
+    injects the execution strategy — the builtin ``map`` runs serially, an
+    ``Executor.map`` fans batches out over workers — and MUST preserve
+    input order, which every ``concurrent.futures`` executor does.
+
+    Determinism: batch RNG streams are spawned from ``rng`` in index order
+    *before* anything runs, and merging happens in index order, so the
+    merged :class:`RunResult` is bit-identical for any ``map_fn``.
+
+    Note the semantics differ from :func:`run_program`: globals reset at
+    batch boundaries and each batch draws from its own sensor stream, so a
+    batched run is *not* sample-for-sample comparable to a single-
+    interpreter run — only to other batched runs with the same
+    ``(activations, batch_size, rng)``.
+    """
+    sizes = split_activations(activations, batch_size)
+    if not sizes:
+        return run_program(
+            program,
+            platform,
+            sensor_factory(np.random.default_rng(spawn_seed_sequences(rng, 1)[0])),
+            activations=0,
+            layout=layout,
+            record_paths=record_paths,
+        )
+    seqs = spawn_seed_sequences(rng, len(sizes))
+    results = list(
+        map_fn(
+            _run_batch,
+            [program] * len(sizes),
+            [platform] * len(sizes),
+            [sensor_factory] * len(sizes),
+            seqs,
+            sizes,
+            [layout] * len(sizes),
+            [record_paths] * len(sizes),
+        )
+    )
+    return merge_run_results(results)

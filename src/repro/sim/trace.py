@@ -73,6 +73,24 @@ class ExecutionCounters:
             self.branch_mispredicts[(proc, label)] += 1
             self.mispredict_total += 1
 
+    def merge(self, other: "ExecutionCounters") -> None:
+        """Fold another batch's counts into this one (in place).
+
+        Used by the batched runner to combine per-batch ground truth into
+        one aggregate; addition is commutative, so the merged counters are
+        identical no matter which worker produced which batch.
+        """
+        self.block_visits.update(other.block_visits)
+        self.edge_counts.update(other.edge_counts)
+        self.branch_taken.update(other.branch_taken)
+        self.branch_mispredicts.update(other.branch_mispredicts)
+        self.branches_executed += other.branches_executed
+        self.taken_total += other.taken_total
+        self.mispredict_total += other.mispredict_total
+        self.sense_reads += other.sense_reads
+        self.sends += other.sends
+        self.invocations.update(other.invocations)
+
     # -- derived ground truth --------------------------------------------------
 
     def true_branch_probabilities(self, proc: Procedure) -> np.ndarray:
