@@ -1,0 +1,37 @@
+"""F8 — regenerate the fault-injection robustness figure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig_f8_faults
+
+
+def test_f8_faults(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f8_faults.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    by_wl: dict[str, dict[float, dict[str, float]]] = {}
+    for i, wl in enumerate(series["workload"]):
+        by_wl.setdefault(wl, {})[series["fault_rate"][i]] = {
+            key: series[key][i]
+            for key in ("mae_full", "mae_tomo", "mae_robust", "delivered_fraction")
+        }
+    for wl, rows in by_wl.items():
+        # Fault-free: full profiling is exact, and the robust path is a
+        # strict no-op relative to the classic estimator.
+        assert rows[0.0]["mae_full"] == 0.0, wl
+        assert abs(rows[0.0]["mae_robust"] - rows[0.0]["mae_tomo"]) < 1e-9, wl
+        assert rows[0.0]["delivered_fraction"] == 1.0, wl
+        # Under faults, packet loss must actually bite ...
+        assert rows[0.4]["delivered_fraction"] < 0.95, wl
+        # ... full profiling loses its exactness ...
+        faulted_full = [rows[r]["mae_full"] for r in (0.1, 0.2, 0.4)]
+        assert max(faulted_full) > 0.0, wl
+        # ... and the robust screen never does worse than the classic fit
+        # on aggregate across the sweep.
+        classic = np.mean([rows[r]["mae_tomo"] for r in rows if r > 0])
+        robust = np.mean([rows[r]["mae_robust"] for r in rows if r > 0])
+        assert robust <= classic + 1e-9, wl

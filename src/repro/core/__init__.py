@@ -22,7 +22,12 @@ problem well-posed for this CFG?) and :mod:`~repro.core.confidence`
 (bootstrap confidence intervals).
 """
 
-from repro.core.moments_fit import MomentFitResult, fit_moments, measurement_noise_variance
+from repro.core.moments_fit import (
+    MomentFitResult,
+    fit_moments,
+    measurement_noise_variance,
+    robust_filter,
+)
 from repro.core.path_enum import PathFamily, PathInfo, enumerate_paths
 from repro.core.em import EMEstimator, EMResult
 from repro.core.estimator import (
@@ -44,6 +49,7 @@ from repro.core.report import estimation_report, render_estimation_report
 __all__ = [
     "fit_moments",
     "MomentFitResult",
+    "robust_filter",
     "measurement_noise_variance",
     "PathInfo",
     "PathFamily",

@@ -25,7 +25,7 @@ import numpy as np
 from repro.errors import EstimationError
 from repro.core.em import EMEstimator
 from repro.core.identifiability import analyze_identifiability
-from repro.core.moments_fit import fit_moments
+from repro.core.moments_fit import fit_moments, robust_filter
 from repro.ir.program import Program
 from repro.markov.moments import RewardMoments
 from repro.mote.platform import Platform
@@ -44,9 +44,47 @@ __all__ = [
 _METHODS = ("moments", "em", "hybrid")
 
 
+def _full_width_ci(k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The honest interval for an estimate we cannot stand behind."""
+    return np.zeros(k), np.ones(k)
+
+
+def _degradation(opts: "EstimationOptions", name: str, kept: int, rejected: int):
+    """Decide whether a robust estimate must be flagged degraded.
+
+    Returns ``(degraded, warning_or_None)``.  Only meaningful in robust
+    mode; the classic path never degrades (it has no rejection signal).
+    """
+    if not opts.robust:
+        return False, None
+    total = kept + rejected
+    if kept < opts.min_samples:
+        return True, (
+            f"{name}: degraded — only {kept} usable sample(s) after fault "
+            f"screening (need {opts.min_samples})"
+        )
+    if total and rejected / total >= opts.degraded_reject_fraction:
+        return True, (
+            f"{name}: degraded — fault screening rejected {rejected}/{total} "
+            f"samples (≥ {opts.degraded_reject_fraction:.0%})"
+        )
+    return False, None
+
+
 @dataclass(frozen=True)
 class EstimationOptions:
-    """Tuning knobs shared by all procedures in one estimation run."""
+    """Tuning knobs shared by all procedures in one estimation run.
+
+    The ``robust`` block controls the fault-tolerant path
+    (:mod:`repro.faults` is the regime it exists for): a model-based
+    outlier screen before fitting (see
+    :func:`repro.core.moments_fit.robust_filter`), plus graceful
+    degradation — an estimate is flagged ``degraded`` (full-width
+    confidence interval, never NaN) when fewer than ``min_samples``
+    survive or when the screen rejected at least
+    ``degraded_reject_fraction`` of the sample.  On fault-free data the
+    robust path rejects nothing and is bit-identical to the classic one.
+    """
 
     method: str = "moments"
     moments_used: int = 3
@@ -58,6 +96,12 @@ class EstimationOptions:
     em_max_paths: int = 2000
     check_identifiability: bool = True
     seed: Optional[int] = None
+    robust: bool = False
+    robust_k: float = 8.0
+    robust_floor_mult: float = 25.0
+    max_reject_fraction: float = 0.35
+    min_samples: int = 8
+    degraded_reject_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
@@ -68,7 +112,14 @@ class EstimationOptions:
 
 @dataclass(frozen=True)
 class ProcedureEstimate:
-    """One procedure's estimated branch probabilities plus diagnostics."""
+    """One procedure's estimated branch probabilities plus diagnostics.
+
+    ``degraded`` marks an estimate the robust pipeline could not stand
+    behind (too few surviving samples, or too much of the sample was
+    fault-rejected); such estimates carry the full-width ``[0, 1]``
+    confidence interval per branch instead of a pretend-precise one.
+    ``n_rejected`` counts samples the robust screen discarded.
+    """
 
     procedure: str
     theta: np.ndarray
@@ -78,6 +129,10 @@ class ProcedureEstimate:
     predicted_moments: tuple[float, float, float]
     observed_moments: Optional[tuple[float, float, float]]
     warnings: tuple[str, ...] = ()
+    degraded: bool = False
+    n_rejected: int = 0
+    ci_lower: Optional[np.ndarray] = None
+    ci_upper: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -170,6 +225,7 @@ class CodeTomography:
             warnings.append(
                 f"{name}: no timing samples; falling back to uniform 0.5 prior"
             )
+            ci_lo, ci_hi = _full_width_ci(k)
             return ProcedureEstimate(
                 procedure=name,
                 theta=theta,
@@ -179,6 +235,9 @@ class CodeTomography:
                 predicted_moments=model.moments(theta).as_tuple(),
                 observed_moments=None,
                 warnings=tuple(warnings),
+                degraded=True,
+                ci_lower=ci_lo,
+                ci_upper=ci_hi,
             )
 
         if opts.check_identifiability:
@@ -196,8 +255,18 @@ class CodeTomography:
             prior_weight=opts.prior_weight,
             restarts=opts.restarts,
             rng=gen,
+            robust=opts.robust,
+            robust_k=opts.robust_k,
+            robust_floor_mult=opts.robust_floor_mult,
+            max_reject_fraction=opts.max_reject_fraction,
         )
         if opts.method == "moments":
+            degraded, note = _degradation(
+                opts, name, moment_fit.n_samples, moment_fit.n_rejected
+            )
+            if note:
+                warnings.append(note)
+            ci_lo, ci_hi = _full_width_ci(k) if degraded else (None, None)
             return ProcedureEstimate(
                 procedure=name,
                 theta=moment_fit.theta,
@@ -207,6 +276,25 @@ class CodeTomography:
                 predicted_moments=moment_fit.predicted_moments,
                 observed_moments=moment_fit.observed_moments,
                 warnings=tuple(warnings),
+                degraded=degraded,
+                n_rejected=moment_fit.n_rejected,
+                ci_lower=ci_lo,
+                ci_upper=ci_hi,
+            )
+
+        # EM sees the same fault-screened sample the robust moments fit kept;
+        # on clean data nothing is rejected and `em_durations` is the
+        # original array.
+        em_durations = durations
+        em_rejected = 0
+        if opts.robust:
+            em_durations, em_rejected = robust_filter(
+                model,
+                durations,
+                timer,
+                robust_k=opts.robust_k,
+                robust_floor_mult=opts.robust_floor_mult,
+                max_reject_fraction=opts.max_reject_fraction,
             )
 
         em = EMEstimator(
@@ -225,7 +313,7 @@ class CodeTomography:
             starts.append(moment_fit.theta)
         em_result = None
         for theta0 in starts:
-            candidate = em.fit(durations, theta0=theta0)
+            candidate = em.fit(em_durations, theta0=theta0)
             if em_result is None or candidate.log_likelihood > em_result.log_likelihood:
                 em_result = candidate
         assert em_result is not None
@@ -238,6 +326,10 @@ class CodeTomography:
                 f"{name}: EM dropped {em_result.dropped_observations} observation(s) "
                 f"incompatible with the enumerated path family"
             )
+        degraded, note = _degradation(opts, name, em_result.n_samples, em_rejected)
+        if note:
+            warnings.append(note)
+        ci_lo, ci_hi = _full_width_ci(k) if degraded else (None, None)
         return ProcedureEstimate(
             procedure=name,
             theta=em_result.theta,
@@ -247,4 +339,8 @@ class CodeTomography:
             predicted_moments=model.moments(em_result.theta).as_tuple(),
             observed_moments=moment_fit.observed_moments,
             warnings=tuple(warnings),
+            degraded=degraded,
+            n_rejected=em_rejected,
+            ci_lower=ci_lo,
+            ci_upper=ci_hi,
         )

@@ -18,10 +18,34 @@ nonlinear least squares:
 * **Prior**: a weak pull toward 0.5 regularizes directions the moments do
   not constrain (see :mod:`repro.core.identifiability`), instead of letting
   them wander to a bound.
+
+Robust path
+-----------
+
+Under fault injection (:mod:`repro.faults`) the duration sample is
+contaminated: corrupted uploads are uniform noise over the 16-bit tick
+range and timer glitches add ~10⁵ cycles, both orders of magnitude outside
+any plausible execution time — while *clean* mote durations are heavily
+quantized and heavy-tailed (MAD and IQR are routinely zero), so the
+textbook median/MAD screen would reject genuine rare-path samples.  The
+robust path (``fit_moments(..., robust=True)``) therefore screens against
+the *model*, not the sample: samples farther from the predicted measured
+mean (anchored at the uninformed prior ``theta = 0.5``) than
+``max(robust_k · σ_pred, robust_floor_mult · mean_pred)`` are rejected —
+see :func:`robust_filter` — and the moment match runs on the survivors.
+
+When nothing is rejected the fit sees the untouched sample with an
+untouched generator, so on clean data the robust path is **bit-identical**
+to the classic one.  Rejection is
+capped at ``max_reject_fraction`` of the sample: that cap is the screen's
+breakdown point — contamination beyond ~35% necessarily leaks fault mass
+into the trimmed fit (the estimator layer flags such fits ``degraded``,
+see :class:`repro.core.estimator.EstimationOptions`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -33,9 +57,18 @@ from repro.mote.timer import TimestampTimer
 from repro.sim.timing import ProcedureTimingModel
 from repro.util.rng import RngSource, as_rng
 
-__all__ = ["MomentFitResult", "fit_moments", "measurement_noise_variance"]
+__all__ = [
+    "MomentFitResult",
+    "fit_moments",
+    "measurement_noise_variance",
+    "robust_filter",
+]
 
 _THETA_EPS = 1e-4
+
+#: Below this many samples the robust screen declines to reject anything —
+#: the anchor fit is too weak to tell an outlier from a rare path.
+ROBUST_MIN_SAMPLES = 8
 
 
 def measurement_noise_variance(timer: TimestampTimer) -> float:
@@ -44,15 +77,89 @@ def measurement_noise_variance(timer: TimestampTimer) -> float:
     A duration is the difference of two quantized timestamps: each carries
     uniform quantization error (variance ``cpt² / 12``), so the difference
     carries ``cpt² / 6``; independent Gaussian jitter at both ends adds
-    ``2 σ_j²``.
+    ``2 σ_j²``.  (Delegates to :meth:`TimestampTimer.noise_variance`.)
     """
-    cpt = timer.cycles_per_tick
-    return cpt * cpt / 6.0 + 2.0 * timer.jitter_cycles**2
+    return timer.noise_variance()
+
+
+def robust_filter(
+    model: ProcedureTimingModel,
+    durations: Sequence[float],
+    timer: Optional[TimestampTimer],
+    theta: Optional[np.ndarray] = None,
+    robust_k: float = 8.0,
+    robust_floor_mult: float = 25.0,
+    max_reject_fraction: float = 0.35,
+) -> tuple[np.ndarray, int]:
+    """Screen ``durations`` against the model's predicted measurement.
+
+    Distances are measured from the predicted mean at the uninformed prior
+    (``theta = 0.5``); a sample is rejected when it lies beyond an envelope
+    of plausible execution regimes: the max over probe parameter vectors
+    (0.5 and the loop-heavy 0.9) of ``robust_floor_mult · mean_pred +
+    robust_k · σ_pred``, with ``σ_pred`` including the timer's noise
+    variance and everything floored at the timer resolution.  Anchoring on
+    fixed probes instead of a data-driven fit is deliberate twice over: a
+    fit on contaminated data can be dragged to a bound (a loop probability
+    near 1 makes the predicted variance explode, widening the screen until
+    nothing is rejected), and the sample's own MAD/IQR is routinely zero on
+    quantized mote durations (rejecting genuine rare paths).  The absolute
+    ``mean_pred`` multiple is what keeps heavy-tailed clean data safe: a
+    rare long path sits within a few tens of predicted means, while
+    glitches and corrupted uploads land hundreds to thousands out.
+
+    ``theta``, when given, replaces the probe set with that single vector
+    (the anchor for both distance and envelope).
+
+    Rejection is capped at ``max_reject_fraction`` of the sample (the
+    documented breakdown point); past the cap only the most extreme
+    samples go.  Returns ``(survivors, n_rejected)``; with nothing
+    rejected, the *original* array object is returned so callers can cheaply
+    detect the no-op case.
+    """
+    xs = np.asarray(durations, dtype=float)
+    n = int(xs.size)
+    if n < ROBUST_MIN_SAMPLES:
+        return xs, 0
+    k = model.n_parameters
+    probes = [theta] if theta is not None else [np.full(k, p) for p in (0.5, 0.9)]
+    resolution = float(timer.resolution_cycles) if timer is not None else 1.0
+    noise = timer.noise_variance() if timer is not None else 0.0
+    mean_anchor = 0.0
+    threshold = 0.0
+    for i, probe in enumerate(probes):
+        moments = model.moments(probe)
+        if i == 0:
+            mean_anchor = moments.mean
+        sigma = max(math.sqrt(max(moments.variance, 0.0) + noise), resolution)
+        threshold = max(
+            threshold,
+            robust_floor_mult * max(moments.mean, resolution) + robust_k * sigma,
+        )
+    dist = np.abs(xs - mean_anchor)
+    reject = dist > threshold
+    n_reject = int(reject.sum())
+    if n_reject == 0:
+        return xs, 0
+    cap = int(math.floor(max_reject_fraction * n))
+    if cap == 0:
+        return xs, 0
+    if n_reject > cap:
+        order = np.argsort(dist, kind="stable")
+        keep = np.zeros(n, dtype=bool)
+        keep[order[: n - cap]] = True
+        return xs[keep], cap
+    return xs[~reject], n_reject
 
 
 @dataclass(frozen=True)
 class MomentFitResult:
-    """Outcome of one moment-matching fit."""
+    """Outcome of one moment-matching fit.
+
+    ``n_samples`` counts the samples the fit actually used; ``n_rejected``
+    counts samples the robust screen discarded first (0 on the classic
+    path).
+    """
 
     theta: np.ndarray
     cost: float
@@ -60,6 +167,7 @@ class MomentFitResult:
     predicted_moments: tuple[float, float, float]
     n_samples: int
     restarts_used: int
+    n_rejected: int = 0
 
     @property
     def moment_residuals(self) -> tuple[float, float, float]:
@@ -93,6 +201,10 @@ def fit_moments(
     prior_weight: float = 1e-3,
     restarts: int = 8,
     rng: RngSource = None,
+    robust: bool = False,
+    robust_k: float = 8.0,
+    robust_floor_mult: float = 25.0,
+    max_reject_fraction: float = 0.35,
 ) -> MomentFitResult:
     """Estimate ``theta`` from measured end-to-end ``durations``.
 
@@ -105,10 +217,16 @@ def fit_moments(
         Measured durations in cycles, as produced by the timing profiler.
     timer:
         When given, its quantization/jitter variance is subtracted from the
-        observed variance before matching.
+        observed variance before matching, and a drifting crystal's known
+        scale factor is divided out of the durations first.
     moments_used:
         1 = mean only, 2 = +variance, 3 = +third central moment.  The
         ablation (T3) sweeps this.
+    robust:
+        Screen the sample through the model-based outlier filter
+        (:func:`robust_filter`) before fitting.  When the screen rejects
+        nothing — in particular on any fault-free dataset — the result is
+        bit-identical to the classic estimator.
     """
     xs = np.asarray(durations, dtype=float)
     if xs.size == 0:
@@ -117,7 +235,42 @@ def fit_moments(
         raise EstimationError(f"moments_used must be 1, 2 or 3, got {moments_used}")
     if restarts < 1:
         raise EstimationError(f"restarts must be >= 1, got {restarts}")
+    if timer is not None and timer.drift_ppm != 0.0:
+        # Calibrated crystal drift is a known multiplicative bias; divide it
+        # out so the moment match sees durations on the true cycle axis.
+        xs = xs / timer.drift_scale
 
+    gen = as_rng(rng)
+    if not robust or model.n_parameters == 0:
+        return _fit_core(model, xs, timer, moments_used, prior_weight, restarts, gen, 0)
+    # Screen first (consumes no randomness), then fit once on the survivors.
+    # Zero rejections hand the *same* array to the same fit with the same
+    # generator state, so the robust path is bit-identical to the classic
+    # one on clean data.
+    survivors, n_rejected = robust_filter(
+        model,
+        xs,
+        timer,
+        robust_k=robust_k,
+        robust_floor_mult=robust_floor_mult,
+        max_reject_fraction=max_reject_fraction,
+    )
+    return _fit_core(
+        model, survivors, timer, moments_used, prior_weight, restarts, gen, n_rejected
+    )
+
+
+def _fit_core(
+    model: ProcedureTimingModel,
+    xs: np.ndarray,
+    timer: Optional[TimestampTimer],
+    moments_used: int,
+    prior_weight: float,
+    restarts: int,
+    gen: np.random.Generator,
+    n_rejected: int,
+) -> MomentFitResult:
+    """One weighted multi-start moment match on an already-vetted sample."""
     k = model.n_parameters
     mean = float(xs.mean())
     centered = xs - mean
@@ -136,6 +289,7 @@ def fit_moments(
             predicted_moments=predicted,
             n_samples=int(xs.size),
             restarts_used=0,
+            n_rejected=n_rejected,
         )
 
     scales = _moment_scales(mean, variance, int(xs.size), moments_used)
@@ -149,7 +303,6 @@ def fit_moments(
         prior_part = sqrt_prior * (theta - 0.5)
         return np.concatenate([data_part, prior_part])
 
-    gen = as_rng(rng)
     starts = [np.full(k, 0.5)]
     for _ in range(restarts - 1):
         starts.append(gen.uniform(0.15, 0.85, size=k))
@@ -181,4 +334,5 @@ def fit_moments(
         predicted_moments=predicted,
         n_samples=int(xs.size),
         restarts_used=len(starts),
+        n_rejected=n_rejected,
     )

@@ -25,10 +25,18 @@ def estimation_report(
     result: EstimationResult,
     truth: Optional[Mapping[str, Sequence[float]]] = None,
 ) -> Table:
-    """One row per branch: location, estimate, and (optionally) truth."""
+    """One row per branch: location, estimate, quality, and (optionally) truth.
+
+    The ``quality`` column carries the estimator's own verdict: ``ok`` for
+    a trusted estimate, ``degraded`` when the robust pipeline could not
+    stand behind the number (the estimate then also carries a full-width
+    confidence interval — see
+    :class:`~repro.core.estimator.ProcedureEstimate`).
+    """
     columns = ["procedure", "branch", "theta_hat", "n_samples", "method"]
     if truth is not None:
         columns += ["theta_true", "abs_err"]
+    columns.append("quality")
     table = Table("Code Tomography estimation report", columns)
     for proc in program:
         par = BranchParameterization(proc.cfg)
@@ -46,6 +54,7 @@ def estimation_report(
             if truth is not None:
                 true_k = float(np.asarray(truth[proc.name], dtype=float)[k])
                 row += [true_k, abs(float(estimate.theta[k]) - true_k)]
+            row.append("degraded" if estimate.degraded else "ok")
             table.add_row(*row)
     return table
 

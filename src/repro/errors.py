@@ -19,6 +19,7 @@ __all__ = [
     "MarkovError",
     "NotAbsorbingError",
     "MoteError",
+    "FaultError",
     "SimulationError",
     "ProfilingError",
     "EstimationError",
@@ -77,6 +78,10 @@ class NotAbsorbingError(MarkovError):
 
 class MoteError(ReproError):
     """Errors from the mote hardware model (:mod:`repro.mote`)."""
+
+
+class FaultError(ReproError):
+    """Errors from the fault-injection layer (:mod:`repro.faults`)."""
 
 
 class SimulationError(ReproError):

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig_f5_speedup,
     fig_f6_robustness,
     fig_f7_drift,
+    fig_f8_faults,
     table_t1_benchmarks,
     table_t2_overhead,
     table_t3_estimators,
@@ -33,6 +34,7 @@ ALL_EXPERIMENTS = {
     "f5": fig_f5_speedup.run,
     "f6": fig_f6_robustness.run,
     "f7": fig_f7_drift.run,
+    "f8": fig_f8_faults.run,
 }
 
 # Imported after ALL_EXPERIMENTS exists: the engine resolves experiment

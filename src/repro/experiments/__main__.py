@@ -1,0 +1,19 @@
+"""``python -m repro.experiments`` — module entry for the experiment CLI.
+
+Delegates to :func:`repro.experiments.runner.main` (the ``repro-experiments``
+console script).  An optional leading ``run`` token is accepted and ignored,
+so ``python -m repro.experiments run f8 --jobs 4`` and
+``python -m repro.experiments f8 --jobs 4`` are the same invocation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    sys.exit(main(argv))

@@ -1,0 +1,210 @@
+"""F8 — Profiling accuracy under deterministic fault injection.
+
+The paper's motivating claim is that heavyweight profiling is untenable on
+unreliable motes.  This figure puts a number on "unreliable": the same
+workloads run under a swept fault regime (:mod:`repro.faults` — radio
+loss/corruption, sensor dropouts, timer glitches, node reboots), and three
+profiling schemes read the wreckage:
+
+* **full** — exact edge instrumentation whose per-branch counter packets
+  ride the same lossy radio: a lost table leaves the branch at the
+  uninformed 0.5, a corrupted one yields a garbled probability;
+* **tomo** — classic moment-matching tomography on whatever timing records
+  survived the uplink;
+* **robust** — the same records through the robust path
+  (``EstimationOptions(robust=True)``): model-based outlier rejection plus
+  explicit degradation instead of garbage point estimates.
+
+Every fault decision draws from a seed stream derived from
+``(config.seed, "f8", workload, rate, role)``, so units are independent of
+scheduling and ``--jobs N`` output is byte-identical to serial.
+
+At rate 0 every injector is disabled (strict no-op): ``mae_tomo`` equals
+``mae_robust`` exactly and ``mae_full`` is 0.  As the rate grows, full
+profiling's accuracy decays roughly linearly with its (many) lost counter
+packets, while robust tomography degrades gracefully and flags the
+procedures it can no longer stand behind.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.metrics import program_estimation_error
+from repro.core import CodeTomography, EstimationOptions
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
+)
+from repro.faults import FaultInjector, FaultModel, collect_timing
+from repro.profiling import EdgeProfiler
+from repro.sim import run_program
+from repro.util.tables import Table
+from repro.workloads.registry import workload_by_name
+
+__all__ = ["run", "pair_unit", "FAULT_RATES", "WORKLOADS", "BASE_FAULTS"]
+
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+WORKLOADS = ("sense", "event-detect")
+
+#: The severity-1.0 fault mixture; ``BASE_FAULTS.scaled(rate)`` keeps the
+#: blend of failure kinds constant along the sweep axis.
+BASE_FAULTS = FaultModel(
+    radio_loss=0.5,
+    radio_corrupt=0.3,
+    sensor_dropout=0.2,
+    timer_glitch=0.3,
+    reboot=0.1,
+)
+
+
+def _injector(
+    model: FaultModel, config: ExperimentConfig, name: str, rate: float, role: str
+) -> Optional[FaultInjector]:
+    """A named-stream injector for one unit and role; None when disabled."""
+    if not model.enabled:
+        return None
+    return FaultInjector.derived(model, config.seed, "f8", name, str(rate), role)
+
+
+def _faulted_full_profile(
+    program, counters, injector: Optional[FaultInjector]
+) -> dict[str, np.ndarray]:
+    """The exact edge profile as it survives the counter-table upload.
+
+    Each branch's counter table is one packet on the faulty radio: a drop
+    leaves the host with no information (theta falls back to 0.5); a
+    corrupted payload garbles the 10-bit fixed-point probability into an
+    effectively random one.
+    """
+    exact = EdgeProfiler(program).collect(counters).thetas
+    if injector is None:
+        return exact
+    received: dict[str, np.ndarray] = {}
+    for proc in program:  # program order: deterministic stream consumption
+        theta = np.array(exact[proc.name], dtype=float)
+        for k in range(theta.size):
+            fate = injector.radio_outcome()
+            if fate == "drop":
+                theta[k] = 0.5
+            elif fate == "corrupt":
+                garbled = injector.corrupt_payload(int(round(theta[k] * 1023)))
+                theta[k] = (garbled & 0x3FF) / 1023.0
+        received[proc.name] = theta
+    return received
+
+
+def pair_unit(pair: tuple[str, float], config: ExperimentConfig) -> UnitResult:
+    """One (workload, fault rate) cell: run faulted, profile three ways."""
+    name, rate = pair
+    spec = workload_by_name(name)
+    program = spec.program()
+    model = BASE_FAULTS.scaled(rate)
+
+    sensors = spec.sensors(scenario=config.scenario, rng=config.seed)
+    result = run_program(
+        program,
+        config.platform,
+        sensors,
+        activations=config.effective_activations,
+        faults=_injector(model, config, name, rate, "exec"),
+    )
+    truth = {
+        proc.name: result.counters.true_branch_probabilities(proc) for proc in program
+    }
+
+    dataset, stats = collect_timing(
+        config.platform,
+        result.records,
+        faults=_injector(model, config, name, rate, "collect"),
+        rng=config.seed + 1,
+    )
+
+    tomo = CodeTomography(program, config.platform)
+    classic = tomo.estimate(
+        dataset, EstimationOptions(method="moments", seed=config.seed)
+    )
+    robust = tomo.estimate(
+        dataset, EstimationOptions(method="moments", seed=config.seed, robust=True)
+    )
+    full = _faulted_full_profile(
+        program, result.counters, _injector(model, config, name, rate, "fullprof")
+    )
+
+    mae_full = program_estimation_error(full, truth, "mae")
+    mae_tomo = program_estimation_error(classic.thetas, truth, "mae")
+    mae_robust = program_estimation_error(robust.thetas, truth, "mae")
+    degraded = sum(1 for est in robust.estimates.values() if est.degraded)
+    rejected = sum(est.n_rejected for est in robust.estimates.values())
+
+    unit = UnitResult()
+    unit.add_row(
+        name,
+        rate,
+        mae_full,
+        mae_tomo,
+        mae_robust,
+        stats.delivered_fraction,
+        rejected,
+        degraded,
+    )
+    unit.add_series(
+        workload=name,
+        fault_rate=rate,
+        mae_full=mae_full,
+        mae_tomo=mae_tomo,
+        mae_robust=mae_robust,
+        delivered_fraction=stats.delivered_fraction,
+        degraded_procs=degraded,
+    )
+    return unit
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Tomography vs full profiling accuracy across the fault-rate sweep."""
+    table = Table(
+        "F8: profiling accuracy under fault injection",
+        [
+            "workload",
+            "fault_rate",
+            "mae_full",
+            "mae_tomo",
+            "mae_robust",
+            "delivered",
+            "rejected",
+            "degraded",
+        ],
+        digits=4,
+    )
+    series: dict[str, list] = {
+        "workload": [],
+        "fault_rate": [],
+        "mae_full": [],
+        "mae_tomo": [],
+        "mae_robust": [],
+        "delivered_fraction": [],
+        "degraded_procs": [],
+    }
+    pairs = [(name, rate) for name in WORKLOADS for rate in FAULT_RATES]
+    units = map_units(partial(pair_unit, config=config), pairs)
+    timings = combine_units(units, table, series)
+    return ExperimentResult(
+        experiment_id="f8",
+        title="profiling under fault injection",
+        tables=[table],
+        series=series,
+        timings=timings,
+        notes=[
+            "Shape check: at rate 0 full profiling is exact (mae_full = 0) and "
+            "mae_tomo equals mae_robust bit-for-bit (the fault layer is a "
+            "strict no-op); as the rate grows, mae_full climbs with every lost "
+            "counter packet while the robust path rejects implausible records "
+            "and flags procedures it can no longer estimate as degraded."
+        ],
+    )

@@ -1,0 +1,96 @@
+"""The degraded measurement path: timing records through a faulty uplink.
+
+Code Tomography's collector timestamps procedure entry/exit on the mote and
+uploads per-invocation durations over the radio.  Under faults, a record
+can be lost outright (packet loss), arrive with a corrupted payload (a
+random tick count read as a duration), or carry a glitched timestamp (an
+interrupt storm inflating the measured duration).  :func:`collect_timing`
+applies those fates record by record and hands the survivors to the same
+:class:`~repro.profiling.timing_profiler.TimingDataset` the estimators
+always consume — nothing downstream needs to know faults exist, which is
+exactly why the estimators need a robust path
+(:func:`repro.core.moments_fit.fit_moments` with ``robust=True``).
+
+With ``faults=None`` (or a disabled model) this is byte-identical to
+:meth:`repro.profiling.timing_profiler.TimingProfiler.collect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.faults.model import FaultInjector
+from repro.mote.platform import Platform
+from repro.profiling.timing_profiler import TimingDataset
+from repro.sim.trace import InvocationRecord
+from repro.util.rng import RngSource, as_rng
+
+__all__ = ["CollectionStats", "collect_timing"]
+
+
+@dataclass(frozen=True)
+class CollectionStats:
+    """What happened to the timing records on their way off the mote."""
+
+    measured: int
+    delivered: int
+    dropped: int
+    corrupted: int
+    glitched: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of measured records that reached the host at all."""
+        return self.delivered / self.measured if self.measured else 1.0
+
+
+def collect_timing(
+    platform: Platform,
+    records: Iterable[InvocationRecord],
+    faults: Optional[FaultInjector] = None,
+    rng: RngSource = None,
+) -> tuple[TimingDataset, CollectionStats]:
+    """Measure ``records`` through the platform timer and a faulty uplink.
+
+    ``rng`` drives the timer's own jitter (as in
+    :class:`~repro.profiling.timing_profiler.TimingProfiler`); fault fates
+    draw from the injector's named ``timing`` stream.  The timer measurement
+    is performed for every record — including ones that are then dropped —
+    so the measurement stream is identical at every fault rate and the
+    fault layer only ever *removes or edits* samples, never reshuffles them.
+    """
+    timer = platform.timer
+    gen = as_rng(rng)
+    injector = faults if faults is not None and faults.model.enabled else None
+    per_proc: dict[str, list[float]] = {}
+    measured = delivered = dropped = corrupted = glitched = 0
+    for record in records:
+        value = timer.measure_cycles(record.entry_cycle, record.exit_cycle, gen)
+        measured += 1
+        if injector is not None:
+            fate = injector.record_outcome()
+            if fate == "drop":
+                dropped += 1
+                continue
+            if fate == "corrupt":
+                value = injector.corrupt_duration(timer.cycles_per_tick)
+                corrupted += 1
+            elif fate == "glitch":
+                value += injector.glitch_cycles()
+                glitched += 1
+        delivered += 1
+        per_proc.setdefault(record.procedure, []).append(value)
+    dataset = TimingDataset(
+        {name: np.asarray(xs, dtype=float) for name, xs in per_proc.items()}
+    )
+    stats = CollectionStats(
+        measured=measured,
+        delivered=delivered,
+        dropped=dropped,
+        corrupted=corrupted,
+        glitched=glitched,
+    )
+    return dataset, stats

@@ -5,11 +5,22 @@ here.  Profiling schemes that ship their data off-mote (the tomography
 collector uploads timing summaries; full instrumentation uploads counter
 tables) also account their traffic through this interface so the energy
 comparison charges them fairly.
+
+With a :class:`~repro.faults.FaultInjector` attached, each transmission can
+be lost on air or delivered with a corrupted payload; without one (the
+default) behaviour is bit-identical to the fault-free radio.  Dropped
+packets still cost transmit energy — the loss happens in the channel, not
+on the mote — so :attr:`Radio.transmissions` (attempts) is what the energy
+model charges, while :attr:`Radio.packet_count` counts deliveries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> mote)
+    from repro.faults.model import FaultInjector
 
 __all__ = ["Radio", "Packet"]
 
@@ -28,25 +39,43 @@ class Radio:
 
     bytes_per_packet: int = 36  # 802.15.4 header + 16-bit payload + MIC
     packets: list[Packet] = field(default_factory=list)
+    faults: Optional["FaultInjector"] = field(default=None, repr=False)
+    dropped_packets: int = 0
+    corrupted_packets: int = 0
 
     def transmit(self, value: int, cycle: int) -> None:
-        """Record one application packet."""
+        """Record one application packet (subject to channel faults, if any)."""
+        if self.faults is not None:
+            fate = self.faults.radio_outcome()
+            if fate == "drop":
+                self.dropped_packets += 1
+                return
+            if fate == "corrupt":
+                value = self.faults.corrupt_payload(int(value))
+                self.corrupted_packets += 1
         self.packets.append(Packet(value=int(value), cycle=int(cycle)))
 
     @property
     def packet_count(self) -> int:
-        """Number of packets sent."""
+        """Number of packets delivered."""
         return len(self.packets)
 
     @property
+    def transmissions(self) -> int:
+        """Number of packets *sent*, delivered or not (what energy charges)."""
+        return self.packet_count + self.dropped_packets
+
+    @property
     def bytes_sent(self) -> int:
-        """Total bytes on air."""
-        return self.packet_count * self.bytes_per_packet
+        """Total bytes on air (attempts; lost packets still radiate)."""
+        return self.transmissions * self.bytes_per_packet
 
     def values(self) -> list[int]:
         """Payload values in transmission order."""
         return [p.value for p in self.packets]
 
     def clear(self) -> None:
-        """Drop the log (keeps configuration)."""
+        """Drop the log and fault tallies (keeps configuration)."""
         self.packets.clear()
+        self.dropped_packets = 0
+        self.corrupted_packets = 0

@@ -203,7 +203,15 @@ class DiurnalSensor(Sensor):
 
 
 class SensorSuite:
-    """Named sensor channels plus the RNG stream that drives them."""
+    """Named sensor channels plus the RNG stream that drives them.
+
+    With a :class:`~repro.faults.FaultInjector` attached (see
+    :meth:`attach_faults`), individual reads can brown out to a stuck ADC
+    rail value.  The physical process still advances — the underlying
+    sensor is read (and its RNG stream consumed) before the dropout fate is
+    decided — so enabling dropouts never shifts the sensor value sequence,
+    only masks entries of it.
+    """
 
     def __init__(self, channels: Mapping[str, Sensor], rng: RngSource = None) -> None:
         if not channels:
@@ -211,6 +219,12 @@ class SensorSuite:
         self.channels = dict(channels)
         self._rng = as_rng(rng)
         self.read_count = 0
+        self.faults = None  # Optional[repro.faults.FaultInjector]
+        self.dropout_count = 0
+
+    def attach_faults(self, faults) -> None:
+        """Route subsequent reads through ``faults`` (None to detach)."""
+        self.faults = faults
 
     def read(self, channel: str) -> int:
         """Read one value from ``channel``; raises on unknown channels."""
@@ -220,7 +234,11 @@ class SensorSuite:
             known = ", ".join(sorted(self.channels))
             raise MoteError(f"unknown sensor channel {channel!r}; known: {known}") from None
         self.read_count += 1
-        return sensor.read(self._rng)
+        value = sensor.read(self._rng)
+        if self.faults is not None and self.faults.sensor_faulted():
+            self.dropout_count += 1
+            return self.faults.stuck_reading()
+        return value
 
     def reset(self, rng: RngSource = None) -> None:
         """Reset every sensor's internal state (and optionally reseed)."""
@@ -229,3 +247,4 @@ class SensorSuite:
         if rng is not None:
             self._rng = as_rng(rng)
         self.read_count = 0
+        self.dropout_count = 0

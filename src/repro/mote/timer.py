@@ -34,11 +34,17 @@ class TimestampTimer:
         *timestamp*, in cycles — interrupt latency and crystal drift.
     phase:
         Fractional tick offset in ``[0, 1)`` of the counter at cycle zero.
+    drift_ppm:
+        Systematic crystal drift in parts per million: the timer counts
+        ``1 + drift_ppm * 1e-6`` ticks per nominal tick, so every measured
+        duration is scaled by that factor.  Zero (the default) is exact
+        no-op; real 32.768 kHz crystals sit in the ±20–100 ppm range.
     """
 
     cycles_per_tick: int = 1
     jitter_cycles: float = 0.0
     phase: float = 0.0
+    drift_ppm: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cycles_per_tick < 1:
@@ -47,12 +53,32 @@ class TimestampTimer:
             raise MoteError(f"jitter_cycles must be >= 0, got {self.jitter_cycles}")
         if not 0.0 <= self.phase < 1.0:
             raise MoteError(f"phase must lie in [0, 1), got {self.phase}")
+        if abs(self.drift_ppm) >= 1e6:
+            raise MoteError(f"|drift_ppm| must be < 1e6, got {self.drift_ppm}")
+
+    @property
+    def drift_scale(self) -> float:
+        """Multiplicative factor the drifting crystal applies to durations."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def noise_variance(self) -> float:
+        """Variance this timer adds to one measured duration, in cycles².
+
+        Quantizing both endpoints contributes ``cycles_per_tick**2 / 6``
+        (two independent uniform(0, cpt) errors differenced); jitter at both
+        endpoints contributes ``2 * jitter_cycles**2``.  Drift is a bias,
+        not a variance, and is corrected separately (see
+        :func:`repro.core.moments_fit.fit_moments`).
+        """
+        return self.cycles_per_tick**2 / 6.0 + 2.0 * self.jitter_cycles**2
 
     def tick_at(self, cycle: float, rng: RngSource = None) -> int:
-        """Timer reading at absolute CPU ``cycle`` (jitter applied if set)."""
+        """Timer reading at absolute CPU ``cycle`` (drift and jitter applied)."""
         if cycle < 0:
             raise MoteError(f"cycle must be non-negative, got {cycle}")
         observed = float(cycle)
+        if self.drift_ppm != 0.0:
+            observed *= self.drift_scale
         if self.jitter_cycles > 0:
             observed = max(0.0, observed + as_rng(rng).normal(0.0, self.jitter_cycles))
         return int(math.floor(observed / self.cycles_per_tick + self.phase))

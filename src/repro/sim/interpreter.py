@@ -12,7 +12,7 @@ counts and misprediction totals, which is the effect the paper measures.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.ir.instructions import (
@@ -31,6 +31,9 @@ from repro.mote.radio import Radio
 from repro.mote.sensors import SensorSuite
 from repro.placement.layout import ProgramLayout
 from repro.sim.trace import ExecutionCounters, InvocationRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> mote)
+    from repro.faults.model import FaultInjector
 
 __all__ = ["Interpreter"]
 
@@ -61,6 +64,7 @@ class Interpreter:
         radio: Optional[Radio] = None,
         record_paths: bool = False,
         max_steps_per_invocation: int = _DEFAULT_MAX_STEPS,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.program = program
         self.platform = platform
@@ -69,6 +73,12 @@ class Interpreter:
         self.radio = radio if radio is not None else Radio()
         self.record_paths = record_paths
         self.max_steps = max_steps_per_invocation
+        self.faults = faults
+        if faults is not None:
+            # Route hardware-level faults to where the hardware lives; the
+            # interpreter itself stays fault-oblivious.
+            self.radio.faults = faults
+            self.sensors.attach_faults(faults)
 
         self.globals: dict[str, int] = {k: _wrap16(v) for k, v in program.globals_.items()}
         self.arrays: dict[str, list[int]] = {
@@ -278,3 +288,16 @@ class Interpreter:
     def run_activation(self) -> int:
         """One top-level activation of the program's entry procedure."""
         return self.invoke(self.program.entry, ())
+
+    def reboot(self) -> None:
+        """Reset volatile (RAM) state the way a node reboot would.
+
+        Globals and arrays return to their initial images and the LEDs go
+        dark.  The cycle counter, ground-truth counters, and already-kept
+        records are simulator bookkeeping — not mote RAM — so truncating
+        the in-flight activation's records is the caller's job (see
+        :func:`repro.sim.runner.run_program`).
+        """
+        self.globals = {k: _wrap16(v) for k, v in self.program.globals_.items()}
+        self.arrays = {name: [0] * size for name, size in self.program.arrays.items()}
+        self.leds = 0

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.model import FaultInjector, FaultModel
 from repro.mote.platform import Platform
 from repro.mote.sensors import SensorSuite
 from repro.ir.program import Program
@@ -45,6 +46,7 @@ def run_program(
     activations: int,
     layout: Optional[ProgramLayout] = None,
     record_paths: bool = False,
+    faults: Optional[FaultInjector] = None,
 ) -> RunResult:
     """Execute ``activations`` top-level activations and aggregate.
 
@@ -52,6 +54,14 @@ def run_program(
     so program globals persist across activations, as they would on a real
     mote between timer firings.  The caller controls input nondeterminism
     entirely through the ``sensors`` suite (seed it for reproducibility).
+
+    With ``faults``, hardware-level faults (radio loss/corruption, sensor
+    dropouts) apply during execution, and each activation may additionally
+    be hit by a node reboot: the activation's work still happened (cycles
+    and ground-truth counters keep it), but every invocation record opened
+    during it is truncated mid-flight — exit timestamps that never existed
+    can't upload — and RAM resets before the next activation.  ``None``
+    (the default) is bit-identical to the fault-free driver.
     """
     if activations < 0:
         raise ValueError(f"activations must be non-negative, got {activations}")
@@ -61,13 +71,19 @@ def run_program(
         sensors,
         layout=layout,
         record_paths=record_paths,
+        faults=faults,
     )
     for _ in range(activations):
+        mark = len(interp.records)
         interp.run_activation()
+        if faults is not None and faults.reboot_during_activation():
+            del interp.records[mark:]
+            interp.reboot()
     energy = platform.energy.total_mj(
         cycles=interp.cycle,
         conversions=interp.counters.sense_reads,
-        packets=interp.radio.packet_count,
+        # Lost packets still radiate: energy charges attempts, not deliveries.
+        packets=interp.radio.transmissions,
     )
     return RunResult(
         program_name=program.name,
@@ -152,9 +168,19 @@ def _run_batch(
     activations: int,
     layout: Optional[ProgramLayout],
     record_paths: bool,
+    fault_model: Optional[FaultModel],
 ) -> RunResult:
-    """One self-contained batch: fresh interpreter, pre-spawned RNG stream."""
+    """One self-contained batch: fresh interpreter, pre-spawned RNG stream.
+
+    The sensor generator consumes ``seed_seq`` directly (as it always has);
+    the fault injector, when enabled, derives from a *spawned child* of the
+    same sequence — a disjoint key space — so enabling faults never shifts
+    the batch's sensor value stream.
+    """
     sensors = sensor_factory(np.random.default_rng(seed_seq))
+    faults = None
+    if fault_model is not None and fault_model.enabled:
+        faults = FaultInjector(fault_model, seed_seq.spawn(1)[0])
     return run_program(
         program,
         platform,
@@ -162,6 +188,7 @@ def _run_batch(
         activations=activations,
         layout=layout,
         record_paths=record_paths,
+        faults=faults,
     )
 
 
@@ -175,6 +202,7 @@ def run_program_batched(
     layout: Optional[ProgramLayout] = None,
     record_paths: bool = False,
     map_fn: Callable[..., Iterable[RunResult]] = map,
+    fault_model: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run activations in independent batches and merge the results.
 
@@ -187,7 +215,10 @@ def run_program_batched(
 
     Determinism: batch RNG streams are spawned from ``rng`` in index order
     *before* anything runs, and merging happens in index order, so the
-    merged :class:`RunResult` is bit-identical for any ``map_fn``.
+    merged :class:`RunResult` is bit-identical for any ``map_fn``.  A
+    ``fault_model`` (a frozen, picklable description — each batch builds
+    its own injector from its own spawned stream) keeps that property:
+    fault decisions depend on the batch index only, never on the schedule.
 
     Note the semantics differ from :func:`run_program`: globals reset at
     batch boundaries and each batch draws from its own sensor stream, so a
@@ -197,13 +228,20 @@ def run_program_batched(
     """
     sizes = split_activations(activations, batch_size)
     if not sizes:
-        return run_program(
+        # Zero activations produce zero batches, and merge_run_results
+        # (correctly) refuses an empty list — so build the empty aggregate
+        # from one degenerate zero-activation batch instead of fanning out.
+        # The seed spawn keeps the sensor construction path identical to a
+        # real batch so factories that validate or pre-draw still work.
+        return _run_batch(
             program,
             platform,
-            sensor_factory(np.random.default_rng(spawn_seed_sequences(rng, 1)[0])),
-            activations=0,
-            layout=layout,
-            record_paths=record_paths,
+            sensor_factory,
+            spawn_seed_sequences(rng, 1)[0],
+            0,
+            layout,
+            record_paths,
+            fault_model,
         )
     seqs = spawn_seed_sequences(rng, len(sizes))
     results = list(
@@ -216,6 +254,7 @@ def run_program_batched(
             sizes,
             [layout] * len(sizes),
             [record_paths] * len(sizes),
+            [fault_model] * len(sizes),
         )
     )
     return merge_run_results(results)

@@ -208,6 +208,26 @@ class ProcedureTimingModel:
         """Predicted execution-time moments under ``theta``."""
         return reward_moments(self.chain(theta))
 
+    def measured_moments(self, theta: Sequence[float], timer) -> RewardMoments:
+        """Moments of the duration as a ``TimestampTimer`` would *measure* it.
+
+        A drifting crystal scales every duration by ``timer.drift_scale``
+        (mean ×s, variance ×s², third central ×s³); quantization and jitter
+        then add ``timer.noise_variance()`` to the variance, leaving mean
+        and skew essentially untouched.  This is the forward model of the
+        *measurement*, where :meth:`moments` is the forward model of the
+        execution — estimators invert the difference by rescaling observed
+        durations and subtracting the noise variance
+        (:func:`repro.core.moments_fit.fit_moments`).
+        """
+        s = timer.drift_scale
+        m = reward_moments(self.chain(theta))
+        return RewardMoments(
+            mean=s * m.mean,
+            variance=s * s * m.variance + timer.noise_variance(),
+            third_central=s * s * s * m.third_central,
+        )
+
 
 class ProgramTimingModel:
     """Whole-program timing: composes procedure models over the call graph."""

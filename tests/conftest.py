@@ -2,8 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# CI runs the property tests derandomized (fixed example sequence, no
+# wall-clock deadline flakes); select with HYPOTHESIS_PROFILE=ci.  The
+# default profile keeps local runs exploratory.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.ir import BinaryOp, CFGBuilder, binop, const, sense, validate_cfg
 from repro.lang import compile_source

@@ -1,0 +1,168 @@
+"""Differential tests: the batched driver against a hand-rolled reference.
+
+``run_program_batched`` promises that its merged result is a pure function
+of ``(program, platform, factory, activations, batch_size, rng)`` — the
+execution strategy (serial, thread pool, process pool) and everything else
+about the schedule must be invisible.  These tests pin that promise
+differentially: an independent reimplementation (spawn the streams up
+front, run each batch through plain ``run_program``, merge in index order)
+must agree *bit for bit* with the driver, for every workload in the
+registry and across batch sizes spanning one-activation batches to a
+single batch holding the whole run.
+
+The zero-activation edge also lives here: no batches at all must still
+produce a well-formed empty aggregate, not a crash from merging nothing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultModel
+from repro.mote import MICAZ_LIKE
+from repro.sim import (
+    merge_run_results,
+    run_program,
+    run_program_batched,
+    split_activations,
+)
+from repro.util.rng import spawn_seed_sequences
+from repro.workloads.inputs import build_sensors
+from repro.workloads.registry import all_workloads, workload_by_name
+
+ACTIVATIONS = 20
+BATCH_SIZES = (1, 7, 64)  # per-activation batches / ragged split / one batch
+WORKLOAD_NAMES = [spec.name for spec in all_workloads()]
+
+
+def factory_for(spec):
+    return partial(build_sensors, dict(spec.channels), "default")
+
+
+def reference_batched(program, factory, activations, batch_size, rng):
+    """An independent re-derivation of the batched-driver contract."""
+    sizes = split_activations(activations, batch_size)
+    seqs = spawn_seed_sequences(rng, len(sizes))
+    results = [
+        run_program(
+            program,
+            MICAZ_LIKE,
+            factory(np.random.default_rng(seq)),
+            activations=size,
+        )
+        for seq, size in zip(seqs, sizes)
+    ]
+    return merge_run_results(results)
+
+
+class TestBatchedMatchesReference:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_driver_equals_manual_spawn_and_merge(self, name, batch_size):
+        spec = workload_by_name(name)
+        factory = factory_for(spec)
+        driver = run_program_batched(
+            spec.program(),
+            MICAZ_LIKE,
+            factory,
+            activations=ACTIVATIONS,
+            batch_size=batch_size,
+            rng=2015,
+        )
+        reference = reference_batched(
+            spec.program(), factory, ACTIVATIONS, batch_size, rng=2015
+        )
+        assert driver == reference
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_thread_pool_is_invisible(self, name):
+        spec = workload_by_name(name)
+        factory = factory_for(spec)
+        args = dict(
+            program=spec.program(),
+            platform=MICAZ_LIKE,
+            sensor_factory=factory,
+            activations=ACTIVATIONS,
+            batch_size=7,
+            rng=2015,
+        )
+        serial = run_program_batched(**args)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            fanned = run_program_batched(**args, map_fn=pool.map)
+        assert fanned == serial
+
+    def test_batch_size_changes_the_samples_but_not_the_contract(self):
+        # Different batch sizes legitimately produce different runs (each
+        # batch has its own stream); the invariant is determinism *within*
+        # a batch size, not equality across them.
+        spec = workload_by_name("sense")
+        factory = factory_for(spec)
+        runs = {
+            b: run_program_batched(
+                spec.program(),
+                MICAZ_LIKE,
+                factory,
+                activations=ACTIVATIONS,
+                batch_size=b,
+                rng=2015,
+            )
+            for b in (1, 7)
+        }
+        assert runs[1].activations == runs[7].activations == ACTIVATIONS
+        assert runs[1] != runs[7]
+
+
+class TestZeroActivations:
+    def test_empty_batched_run_is_a_wellformed_aggregate(self):
+        spec = workload_by_name("sense")
+        result = run_program_batched(
+            spec.program(),
+            MICAZ_LIKE,
+            factory_for(spec),
+            activations=0,
+            batch_size=16,
+            rng=2015,
+        )
+        assert result.activations == 0
+        assert result.total_cycles == 0
+        assert result.records == []
+        assert result.energy_mj == 0.0
+        assert result.program_name == spec.program().name
+
+    def test_empty_run_is_deterministic_and_pool_safe(self):
+        spec = workload_by_name("blink")
+        args = dict(
+            program=spec.program(),
+            platform=MICAZ_LIKE,
+            sensor_factory=factory_for(spec),
+            activations=0,
+            batch_size=4,
+            rng=9,
+        )
+        serial = run_program_batched(**args)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            fanned = run_program_batched(**args, map_fn=pool.map)
+        assert serial == fanned == run_program_batched(**args)
+
+    def test_zero_activations_with_faults_still_works(self):
+        spec = workload_by_name("sense")
+        result = run_program_batched(
+            spec.program(),
+            MICAZ_LIKE,
+            factory_for(spec),
+            activations=0,
+            batch_size=8,
+            rng=1,
+            fault_model=FaultModel(radio_loss=0.5, reboot=0.5),
+        )
+        assert result.activations == 0
+        assert result.records == []
+
+    def test_merge_still_refuses_a_truly_empty_list(self):
+        # The driver's guard exists because this is (correctly) an error.
+        with pytest.raises(ValueError):
+            merge_run_results([])

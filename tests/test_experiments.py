@@ -188,3 +188,48 @@ class TestF6Shapes:
         series = results["f6"].series
         # Improvement = source mispredict - tomography mispredict, per row.
         assert np.mean(series["improvement"]) > 0.0
+
+
+class TestF8Shapes:
+    def test_zero_rate_is_a_strict_noop(self, results):
+        series = results["f8"].series
+        for wl, rate, full, tomo, robust, delivered in zip(
+            series["workload"],
+            series["fault_rate"],
+            series["mae_full"],
+            series["mae_tomo"],
+            series["mae_robust"],
+            series["delivered_fraction"],
+        ):
+            if rate == 0.0:
+                assert full == 0.0, wl
+                assert abs(robust - tomo) < 1e-9, wl
+                assert delivered == 1.0, wl
+
+    def test_faults_bite_and_numbers_stay_finite(self, results):
+        series = results["f8"].series
+        assert min(series["delivered_fraction"]) < 1.0
+        for key in ("mae_full", "mae_tomo", "mae_robust"):
+            assert all(np.isfinite(v) for v in series[key]), key
+
+    def test_full_profiling_loses_exactness_under_faults(self, results):
+        series = results["f8"].series
+        faulted = [
+            full
+            for rate, full in zip(series["fault_rate"], series["mae_full"])
+            if rate >= 0.1
+        ]
+        assert max(faulted) > 0.0
+
+    def test_robust_no_worse_than_classic_on_aggregate(self, results):
+        series = results["f8"].series
+        faulted = [
+            (tomo, robust)
+            for rate, tomo, robust in zip(
+                series["fault_rate"], series["mae_tomo"], series["mae_robust"]
+            )
+            if rate > 0.0
+        ]
+        classic = np.mean([t for t, _ in faulted])
+        robust = np.mean([r for _, r in faulted])
+        assert robust <= classic + 1e-9
