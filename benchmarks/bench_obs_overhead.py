@@ -1,0 +1,87 @@
+"""OBS — bound the telemetry layer's overhead on the F1 workload.
+
+The observability contract (docs/ARCHITECTURE.md, "Observability") promises
+that instrumentation is effectively free: disabled sites are a global read
+plus an early return, and enabled capture is a dict append per span.  This
+benchmark pins the enabled-path cost: the full-size F1 experiment runs with
+telemetry off and with a live tracer + metrics registry, interleaved
+(ABAB...) so machine drift hits both arms equally, and the median observed
+runtime must stay within 5% of the median plain runtime (plus a small
+absolute slack so sub-second timer noise cannot flake the suite).
+
+The measured ratio is recorded to ``benchmarks/results/obs.txt``.  Unlike
+the experiment renders, that file carries wall-clock — host-dependent by
+nature — so it is deliberately *not* a golden file
+(``tests/test_golden_results.py`` skips it).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from pathlib import Path
+
+from repro.experiments import fig_f1_accuracy
+from repro.obs import MetricsRegistry, Tracer, metrics_active, tracing
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Relative bound from the issue ("<5% on F1") plus absolute timer slack.
+MAX_RATIO = 1.05
+ABS_SLACK_SECONDS = 0.25
+REPEATS = 3
+
+
+def test_obs_overhead_under_five_percent(benchmark, experiment_config):
+    def run_plain() -> tuple[float, str]:
+        started = time.perf_counter()
+        result = fig_f1_accuracy.run(experiment_config)
+        return time.perf_counter() - started, result.render()
+
+    def run_observed() -> tuple[float, str, int]:
+        tracer, registry = Tracer(), MetricsRegistry()
+        started = time.perf_counter()
+        with tracing(tracer), metrics_active(registry):
+            result = fig_f1_accuracy.run(experiment_config)
+        return time.perf_counter() - started, result.render(), len(tracer.spans)
+
+    def measure() -> tuple[list[float], list[float], str, str, int]:
+        plain_times, observed_times = [], []
+        plain_render = observed_render = ""
+        span_count = 0
+        for _ in range(REPEATS):
+            seconds, plain_render = run_plain()
+            plain_times.append(seconds)
+            seconds, observed_render, span_count = run_observed()
+            observed_times.append(seconds)
+        return plain_times, observed_times, plain_render, observed_render, span_count
+
+    # Warm-up (imports, numpy caches) outside the measurement.
+    run_plain()
+
+    plain_times, observed_times, plain_render, observed_render, span_count = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    plain = statistics.median(plain_times)
+    observed = statistics.median(observed_times)
+    ratio = observed / plain
+
+    # The free contract first: telemetry never perturbs the result.
+    assert observed_render == plain_render
+    assert span_count > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs.txt").write_text(
+        "== OBS: telemetry overhead on F1 (not a golden file; wall-clock) ==\n"
+        f"plain_median_s     {plain:.3f}\n"
+        f"observed_median_s  {observed:.3f}\n"
+        f"ratio              {ratio:.4f}\n"
+        f"spans_captured     {span_count}\n"
+        f"repeats            {REPEATS}\n"
+        f"bound              ratio <= {MAX_RATIO} (+{ABS_SLACK_SECONDS}s slack)\n"
+    )
+
+    assert observed <= plain * MAX_RATIO + ABS_SLACK_SECONDS, (
+        f"telemetry overhead too high: observed {observed:.3f}s vs "
+        f"plain {plain:.3f}s (ratio {ratio:.3f}, bound {MAX_RATIO})"
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Validate ``--trace`` / ``--metrics`` artifacts from a telemetry run.
+
+CI's observability smoke job runs one small experiment with telemetry on and
+pipes the artifacts through this script; it exits non-zero with a
+path-qualified message on the first structural violation (see
+:mod:`repro.obs.validate` for the contracts checked).  Usage::
+
+    python scripts/check_obs_artifacts.py \
+        --trace trace.jsonl [--trace-format jsonl|chrome] \
+        --metrics metrics.json [--require-coverage]
+
+``--require-coverage`` additionally asserts the span names prove the trace
+covered the engine, sim and estimator layers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.validate import (
+    ArtifactError,
+    require_span_coverage,
+    validate_chrome_trace,
+    validate_metrics_file,
+    validate_trace_jsonl,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, help="trace artifact to validate")
+    parser.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl"
+    )
+    parser.add_argument("--metrics", default=None, help="metrics artifact to validate")
+    parser.add_argument(
+        "--require-coverage",
+        action="store_true",
+        help="assert the trace covers the engine, sim and estimator layers",
+    )
+    args = parser.parse_args(argv)
+    if args.trace is None and args.metrics is None:
+        parser.error("nothing to check; pass --trace and/or --metrics")
+
+    try:
+        if args.trace is not None:
+            if args.trace_format == "chrome":
+                summary = validate_chrome_trace(args.trace)
+            else:
+                summary = validate_trace_jsonl(args.trace)
+            print(
+                f"{args.trace}: OK — {summary['spans']} spans, "
+                f"{len(summary['names'])} distinct names"
+            )
+            if args.require_coverage:
+                covered = require_span_coverage(summary["names"])
+                print(f"{args.trace}: covers {', '.join(sorted(covered))}")
+        if args.metrics is not None:
+            summary = validate_metrics_file(args.metrics)
+            print(
+                f"{args.metrics}: OK — {summary['counters']} counters, "
+                f"{summary['histograms']} histograms, "
+                f"manifest={'yes' if summary['has_manifest'] else 'no'}"
+            )
+    except ArtifactError as exc:
+        print(f"artifact check FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import EstimationError
 from repro.core.path_enum import PathFamily, enumerate_paths
 from repro.mote.timer import TimestampTimer
@@ -114,6 +115,24 @@ class EMEstimator:
             raise EstimationError(f"theta0 must have length {k}, got {theta.shape}")
         theta = np.clip(theta, 0.02, 0.98)
 
+        with obs.span(
+            "estimate.em", proc=self.model.procedure.name, samples=int(ys.size)
+        ) as span_handle:
+            result = self._fit_loop(ys, theta)
+            span_handle.set(iterations=result.iterations, converged=result.converged)
+        obs.inc("estimator.em_fits")
+        obs.inc("estimator.em_iterations", result.iterations)
+        obs.observe(
+            "estimator.em_iterations_per_fit",
+            result.iterations,
+            bounds=(1, 2, 5, 10, 20, 40, 60),
+        )
+        if not result.converged:
+            obs.inc("estimator.em_nonconverged")
+        return result
+
+    def _fit_loop(self, ys: np.ndarray, theta: np.ndarray) -> EMResult:
+        """The EM iteration proper (split out so :meth:`fit` can trace it)."""
         family = enumerate_paths(
             self.model, theta, min_prob=self.min_prob, max_paths=self.max_paths
         )
@@ -128,6 +147,7 @@ class EMEstimator:
         for iterations in range(1, self.max_iterations + 1):
             # Re-enumerate when the iterate has drifted from the family's base.
             if np.max(np.abs(theta - family_theta)) > self.reenumerate_shift:
+                obs.inc("estimator.em_reenumerations")
                 family = enumerate_paths(
                     self.model, theta, min_prob=self.min_prob, max_paths=self.max_paths
                 )

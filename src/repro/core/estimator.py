@@ -22,6 +22,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import EstimationError
 from repro.core.em import EMEstimator
 from repro.core.identifiability import analyze_identifiability
@@ -186,13 +187,23 @@ class CodeTomography:
         result = EstimationResult()
         callee_moments: dict[str, RewardMoments] = {}
 
-        for proc in self.program.topological_procedures():
-            model = self._timing.procedure_model(proc.name, callee_moments)
-            estimate = self._estimate_procedure(model, dataset, opts, gen)
-            result.estimates[proc.name] = estimate
-            result.warnings.extend(estimate.warnings)
-            # Fold this procedure's *estimated* time distribution into callers.
-            callee_moments[proc.name] = model.moments(estimate.theta)
+        with obs.span(
+            "estimate.program", program=self.program.name, method=opts.method
+        ) as prog_span:
+            for proc in self.program.topological_procedures():
+                model = self._timing.procedure_model(proc.name, callee_moments)
+                with obs.span("estimate.proc", proc=proc.name, method=opts.method):
+                    estimate = self._estimate_procedure(model, dataset, opts, gen)
+                result.estimates[proc.name] = estimate
+                result.warnings.extend(estimate.warnings)
+                obs.inc("estimator.procedures")
+                if estimate.degraded:
+                    obs.inc("estimator.degraded")
+                if estimate.n_rejected:
+                    obs.inc("estimator.samples_rejected", estimate.n_rejected)
+                # Fold this procedure's *estimated* time distribution into callers.
+                callee_moments[proc.name] = model.moments(estimate.theta)
+            prog_span.set(procedures=len(result.estimates))
         return result
 
     # -- per-procedure dispatch ----------------------------------------------

@@ -52,6 +52,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy.optimize import least_squares
 
+from repro import obs
 from repro.errors import EstimationError
 from repro.mote.timer import TimestampTimer
 from repro.sim.timing import ProcedureTimingModel
@@ -241,23 +242,32 @@ def fit_moments(
         xs = xs / timer.drift_scale
 
     gen = as_rng(rng)
-    if not robust or model.n_parameters == 0:
-        return _fit_core(model, xs, timer, moments_used, prior_weight, restarts, gen, 0)
-    # Screen first (consumes no randomness), then fit once on the survivors.
-    # Zero rejections hand the *same* array to the same fit with the same
-    # generator state, so the robust path is bit-identical to the classic
-    # one on clean data.
-    survivors, n_rejected = robust_filter(
-        model,
-        xs,
-        timer,
-        robust_k=robust_k,
-        robust_floor_mult=robust_floor_mult,
-        max_reject_fraction=max_reject_fraction,
-    )
-    return _fit_core(
-        model, survivors, timer, moments_used, prior_weight, restarts, gen, n_rejected
-    )
+    with obs.span(
+        "estimate.moments",
+        proc=model.procedure.name,
+        samples=int(xs.size),
+        robust=robust,
+    ):
+        obs.inc("estimator.moment_fits")
+        if not robust or model.n_parameters == 0:
+            return _fit_core(
+                model, xs, timer, moments_used, prior_weight, restarts, gen, 0
+            )
+        # Screen first (consumes no randomness), then fit once on the survivors.
+        # Zero rejections hand the *same* array to the same fit with the same
+        # generator state, so the robust path is bit-identical to the classic
+        # one on clean data.
+        survivors, n_rejected = robust_filter(
+            model,
+            xs,
+            timer,
+            robust_k=robust_k,
+            robust_floor_mult=robust_floor_mult,
+            max_reject_fraction=max_reject_fraction,
+        )
+        return _fit_core(
+            model, survivors, timer, moments_used, prior_weight, restarts, gen, n_rejected
+        )
 
 
 def _fit_core(

@@ -27,6 +27,7 @@ __all__ = [
     "PlacementError",
     "WorkloadError",
     "ExperimentError",
+    "UnitExecutionError",
 ]
 
 
@@ -110,3 +111,22 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Errors from the experiment harness (:mod:`repro.experiments`)."""
+
+
+class UnitExecutionError(ExperimentError):
+    """One batchable experiment unit crashed.
+
+    Wraps the unit's exception with its **unit index** and the formatted
+    traceback from the process where it ran, so a failed ``--jobs N`` run is
+    diagnosable without re-running serially.  Explicit ``__reduce__`` keeps
+    the extra state intact across the process-pool pickle boundary.
+    """
+
+    def __init__(self, unit_index: int, message: str, traceback_str: str = "") -> None:
+        super().__init__(f"unit {unit_index}: {message}")
+        self.unit_index = unit_index
+        self.message = message
+        self.traceback_str = traceback_str
+
+    def __reduce__(self):
+        return (type(self), (self.unit_index, self.message, self.traceback_str))

@@ -28,6 +28,7 @@ that context :func:`map_units` is a plain serial ``map``.
 from __future__ import annotations
 
 import time
+import traceback
 from concurrent.futures import Executor
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -36,6 +37,9 @@ from typing import Callable, Iterator, Optional, Sequence, TypeVar
 import numpy as np
 
 from repro.core import CodeTomography, EstimationOptions
+from repro.errors import UnitExecutionError
+from repro.obs import MetricsRegistry, Tracer, current_registry, current_tracer
+from repro.obs import metrics_active, tracing
 from repro.ir.program import Program
 from repro.mote.platform import MICAZ_LIKE, Platform
 from repro.placement.layout import ProgramLayout
@@ -149,18 +153,75 @@ def unit_executor(executor: Executor) -> Iterator[None]:
         _UNIT_EXECUTOR = previous
 
 
+class _UnitCall:
+    """Picklable per-unit wrapper: telemetry capture + failure tagging.
+
+    Runs in whatever process the executor chose.  A raising unit becomes a
+    :class:`~repro.errors.UnitExecutionError` carrying the unit index and
+    formatted traceback (pool futures strip both otherwise).  With
+    ``capture`` set, the unit executes under a fresh tracer/registry whose
+    buffers ride back with the result — the caller merges them in unit-index
+    order, which is what makes multi-process traces deterministic.
+    """
+
+    __slots__ = ("fn", "capture")
+
+    def __init__(self, fn: Callable[[_T], _U], capture: bool) -> None:
+        self.fn = fn
+        self.capture = capture
+
+    def __call__(self, indexed: tuple[int, _T]) -> tuple[_U, Optional[list], Optional[dict]]:
+        index, item = indexed
+        try:
+            if not self.capture:
+                return self.fn(item), None, None
+            tracer = Tracer()
+            registry = MetricsRegistry()
+            with tracing(tracer), metrics_active(registry):
+                with tracer.span("unit", index=index):
+                    result = self.fn(item)
+            return result, tracer.spans, registry.snapshot()
+        except UnitExecutionError:
+            raise
+        except Exception as exc:
+            raise UnitExecutionError(
+                index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+            ) from exc
+
+
 def map_units(fn: Callable[[_T], _U], units: Sequence[_T]) -> list[_U]:
     """Order-preserving map over independent experiment units.
 
     Serial by default; inside a :func:`unit_executor` context the units fan
     out over the installed pool.  Results always come back in input order,
     so assembly downstream is schedule-independent.
+
+    Two cross-cutting concerns are layered onto every unit here so the
+    experiment modules stay oblivious to both: a crashing unit surfaces as
+    :class:`~repro.errors.UnitExecutionError` with its index and traceback,
+    and — when telemetry is active in the calling process — each unit's
+    spans and metrics are captured where the unit ran and merged back *in
+    unit-index order*, tagged ``unit=i`` (never by completion time, so the
+    merged trace is identical at any worker count).
     """
     items = list(units)
     executor = _UNIT_EXECUTOR
+    tracer = current_tracer()
+    registry = current_registry()
+    call = _UnitCall(fn, capture=tracer is not None or registry is not None)
+    indexed = list(enumerate(items))
     if executor is None or len(items) <= 1:
-        return [fn(item) for item in items]
-    return list(executor.map(fn, items))
+        outputs = [call(pair) for pair in indexed]
+    else:
+        outputs = list(executor.map(call, indexed))
+    results: list[_U] = []
+    for index, (result, spans, metrics) in enumerate(outputs):
+        if spans and tracer is not None:
+            tracer.adopt(spans, unit=index)
+        if metrics and registry is not None:
+            registry.merge_snapshot(metrics)
+        results.append(result)
+    return results
 
 
 def combine_units(

@@ -35,14 +35,19 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import traceback as traceback_mod
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 import repro
+from repro import obs
+from repro.errors import UnitExecutionError
 from repro.experiments.common import ExperimentConfig, ExperimentResult, unit_executor
+from repro.obs import MetricsRegistry, SpanRecord, Tracer
 from repro.profiling.serialize import (
     experiment_result_from_json,
     experiment_result_to_json,
@@ -67,15 +72,39 @@ DEFAULT_CACHE_DIR = Path(".repro-cache")
 # --------------------------------------------------------------------------
 
 
+#: Cap on the traceback text an outcome carries (the useful frames are at
+#: the tail, so truncation keeps the *end* of the traceback).
+TRACEBACK_LIMIT_CHARS = 2000
+
+
+def _truncated_traceback(text: str) -> str:
+    if len(text) <= TRACEBACK_LIMIT_CHARS:
+        return text
+    return "... [traceback truncated] ...\n" + text[-TRACEBACK_LIMIT_CHARS:]
+
+
 @dataclass
 class ExperimentOutcome:
-    """What the engine hands back for one requested experiment id."""
+    """What the engine hands back for one requested experiment id.
+
+    On failure, ``error`` is a one-line summary (including the failing unit
+    index when the crash happened inside a batchable unit — also exposed as
+    ``failed_unit``) and ``traceback`` carries the tail of the formatted
+    traceback from the process where the crash occurred.  When the run was
+    observed (``run_experiments(..., observe=True)``), ``spans`` and
+    ``metrics`` hold the telemetry captured in whichever process executed
+    the experiment.
+    """
 
     experiment_id: str
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
     seconds: float = 0.0
     cached: bool = False
+    failed_unit: Optional[int] = None
+    traceback: Optional[str] = None
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -178,28 +207,63 @@ class ResultCache:
 # --------------------------------------------------------------------------
 
 
-def _execute(experiment_id: str, config: ExperimentConfig) -> ExperimentOutcome:
+def _execute(
+    experiment_id: str, config: ExperimentConfig, observe: bool = False
+) -> ExperimentOutcome:
     """Run one experiment, capturing failure instead of propagating it.
 
     Module-level so it pickles into pool workers.  Catches ``Exception``
     broadly (not just :class:`~repro.errors.ExperimentError`): any crash in
     one experiment must be reported at exit, not abort the other nine.
+
+    With ``observe``, the experiment runs under a fresh tracer and metrics
+    registry regardless of which process this is: the captured spans and
+    snapshot travel back on the outcome and the *parent* merges them in
+    experiment-request order (never completion order), so an observed
+    parallel run produces the same artifact structure as a serial one.
     """
     from repro.experiments import ALL_EXPERIMENTS  # deferred: import cycle
 
     started = time.perf_counter()
+    tracer = Tracer() if observe else None
+    registry = MetricsRegistry() if observe else None
+
+    def telemetry(outcome: ExperimentOutcome) -> ExperimentOutcome:
+        if tracer is not None:
+            outcome.spans = tracer.spans
+        if registry is not None:
+            outcome.metrics = registry.snapshot()
+        return outcome
+
     try:
-        result = ALL_EXPERIMENTS[experiment_id](config)
+        with ExitStack() as stack:
+            if observe:
+                stack.enter_context(obs.tracing(tracer))
+                stack.enter_context(obs.metrics_active(registry))
+                stack.enter_context(tracer.span("experiment", id=experiment_id))
+            result = ALL_EXPERIMENTS[experiment_id](config)
     except Exception as exc:  # noqa: BLE001 - fault isolation is the point
-        return ExperimentOutcome(
+        failed_unit = exc.unit_index if isinstance(exc, UnitExecutionError) else None
+        traceback = (
+            exc.traceback_str
+            if isinstance(exc, UnitExecutionError) and exc.traceback_str
+            else traceback_mod.format_exc()
+        )
+        return telemetry(
+            ExperimentOutcome(
+                experiment_id=experiment_id,
+                error=f"{type(exc).__name__}: {exc}",
+                seconds=time.perf_counter() - started,
+                failed_unit=failed_unit,
+                traceback=_truncated_traceback(traceback),
+            )
+        )
+    return telemetry(
+        ExperimentOutcome(
             experiment_id=experiment_id,
-            error=f"{type(exc).__name__}: {exc}",
+            result=result,
             seconds=time.perf_counter() - started,
         )
-    return ExperimentOutcome(
-        experiment_id=experiment_id,
-        result=result,
-        seconds=time.perf_counter() - started,
     )
 
 
@@ -208,12 +272,37 @@ def _notify(progress: Optional[ProgressFn], event: ProgressEvent) -> None:
         progress(event)
 
 
+def _bridge_progress(progress: Optional[ProgressFn]) -> Optional[ProgressFn]:
+    """The ProgressEvent→span bridge.
+
+    Every scheduling event also lands on the active tracer as an instant
+    span (``progress.start``, ``progress.done``, ...), so the exported
+    timeline shows when the engine scheduled what without the CLI printer
+    and the trace ever disagreeing.  With no tracer installed this returns
+    ``progress`` unchanged.
+    """
+    if obs.current_tracer() is None:
+        return progress
+
+    def bridged(event: ProgressEvent) -> None:
+        obs.instant(
+            f"progress.{event.kind}",
+            experiment=event.experiment_id,
+            completed=event.completed,
+            total=event.total,
+        )
+        _notify(progress, event)
+
+    return bridged
+
+
 def run_experiments(
     ids: Sequence[str],
     config: ExperimentConfig,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
+    observe: bool = False,
 ) -> list[ExperimentOutcome]:
     """Run ``ids`` under ``config``; returns one outcome per id, in order.
 
@@ -223,8 +312,18 @@ def run_experiments(
     each id starts and finishes (events fire in completion order; the
     *returned list* is always in request order).
 
+    ``observe`` turns on telemetry capture: each experiment (and each of
+    its batchable units) runs under a tracer/metrics registry in whatever
+    process executes it, the buffers ride back on the outcomes, and — after
+    everything finishes — they are merged into the *caller's* active tracer
+    and registry strictly in request order of ``ids`` (and unit-index order
+    within an experiment), never in completion order.  Telemetry never
+    touches RNG streams or rendered tables: observed output is
+    byte-identical to unobserved output at any ``jobs`` count.
+
     Failures never raise: a crashed experiment yields an outcome with
-    ``error`` set and the remaining ids still run.
+    ``error`` set (including the failing unit index and a truncated
+    traceback when available) and the remaining ids still run.
     """
     from repro.experiments import ALL_EXPERIMENTS  # deferred: import cycle
 
@@ -237,12 +336,14 @@ def run_experiments(
     total = len(ids)
     outcomes: dict[str, ExperimentOutcome] = {}
     completed = 0
+    progress = _bridge_progress(progress)
 
     pending: list[str] = []
     for exp_id in ids:
         hit = cache.load(exp_id, config) if cache is not None else None
         if hit is not None:
             completed += 1
+            obs.inc("cache.hit")
             outcomes[exp_id] = ExperimentOutcome(
                 experiment_id=exp_id, result=hit, cached=True
             )
@@ -251,15 +352,22 @@ def run_experiments(
                 ProgressEvent("cached", exp_id, completed, total),
             )
         else:
+            if cache is not None:
+                obs.inc("cache.miss")
             pending.append(exp_id)
 
     def finish(outcome: ExperimentOutcome) -> None:
         nonlocal completed
         completed += 1
         outcomes[outcome.experiment_id] = outcome
+        obs.set_gauge(f"engine.wall_seconds.{outcome.experiment_id}", outcome.seconds)
+        obs.observe("engine.experiment_seconds", outcome.seconds)
+        if not outcome.ok:
+            obs.inc("engine.experiments_failed")
         if outcome.ok and cache is not None:
             try:
                 cache.store(outcome.experiment_id, config, outcome.result)
+                obs.inc("cache.store")
             except OSError as exc:
                 # The cache is an accelerator, not the deliverable: a full
                 # disk or unwritable --cache-dir must not discard a result
@@ -287,21 +395,34 @@ def run_experiments(
         _notify(progress, ProgressEvent("start", exp_id, completed, total))
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             with unit_executor(pool):
-                finish(_execute(exp_id, config))
+                finish(_execute(exp_id, config, observe))
     elif jobs == 1 or len(pending) <= 1:
         for exp_id in pending:
             _notify(progress, ProgressEvent("start", exp_id, completed, total))
-            finish(_execute(exp_id, config))
+            finish(_execute(exp_id, config, observe))
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {}
             for exp_id in pending:
                 _notify(progress, ProgressEvent("start", exp_id, completed, total))
-                futures[pool.submit(_execute, exp_id, config)] = exp_id
+                futures[pool.submit(_execute, exp_id, config, observe)] = exp_id
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     finish(future.result())
 
-    return [outcomes[exp_id] for exp_id in ids]
+    ordered = [outcomes[exp_id] for exp_id in ids]
+    if observe:
+        # Deterministic merge: captured telemetry folds into the caller's
+        # tracer/registry in *request* order — the artifact's span order is a
+        # function of (experiment id, unit index), never of which worker
+        # finished first.
+        tracer = obs.current_tracer()
+        registry = obs.current_registry()
+        for outcome in ordered:
+            if tracer is not None and outcome.spans:
+                tracer.adopt(outcome.spans, experiment=outcome.experiment_id)
+            if registry is not None and outcome.metrics:
+                registry.merge_snapshot(outcome.metrics)
+    return ordered

@@ -14,11 +14,19 @@ are cached under ``--cache-dir`` (default ``.repro-cache/``) keyed by the
 full configuration, so warm re-runs skip completed work — disable with
 ``--no-cache``.  A failing experiment no longer aborts the run: every
 requested id executes and failures are reported together at exit.
+
+Telemetry (:mod:`repro.obs`): ``--trace PATH`` exports the run's span
+timeline (``--trace-format jsonl`` for JSON lines, ``chrome`` for a
+``chrome://tracing``/Perfetto-loadable file) and ``--metrics PATH`` writes
+the metrics-registry snapshot plus the run manifest.  Both are artifacts
+*about* the run; rendered tables stay byte-identical with telemetry on or
+off, at any ``--jobs`` value.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -35,6 +43,16 @@ from repro.experiments.engine import (
     run_experiments,
 )
 from repro.mote.platform import MICAZ_LIKE, TELOSB_LIKE
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    metrics_active,
+    tracing,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
 from repro.profiling.serialize import json_default
 
 __all__ = ["main"]
@@ -100,6 +118,29 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         help="write a structured run report (results, timings, failures) to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        dest="trace_path",
+        help="export the run's span timeline to PATH (see --trace-format)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace export format: JSON lines or Chrome trace_event "
+        "(chrome://tracing / Perfetto); default: jsonl",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        dest="metrics_path",
+        help="write the metrics-registry snapshot (+ run manifest) to PATH",
+    )
     return parser
 
 
@@ -126,9 +167,19 @@ def _progress_printer(event: ProgressEvent) -> None:
 
 
 def _report_payload(
-    outcomes: Sequence[ExperimentOutcome], args: argparse.Namespace, wall_seconds: float
+    outcomes: Sequence[ExperimentOutcome],
+    args: argparse.Namespace,
+    wall_seconds: float,
+    registry: MetricsRegistry,
 ) -> dict:
-    """The ``--json`` run report: config echo + per-experiment outcomes."""
+    """The ``--json`` run report: config echo + per-experiment outcomes.
+
+    Cache behaviour and per-experiment wall-clock come from the metrics
+    registry (the engine records them there on every run), so the report
+    and the ``--metrics`` artifact can never tell different stories.
+    """
+    snap = registry.snapshot()
+    counters, gauges = snap["counters"], snap["gauges"]
     return {
         "config": {
             "platform": args.platform,
@@ -139,6 +190,16 @@ def _report_payload(
             "cache": not args.no_cache,
         },
         "wall_seconds": wall_seconds,
+        "cache": {
+            "hits": counters.get("cache.hit", 0),
+            "misses": counters.get("cache.miss", 0),
+            "stores": counters.get("cache.store", 0),
+        },
+        "wall_seconds_by_experiment": {
+            key.removeprefix("engine.wall_seconds."): value
+            for key, value in gauges.items()
+            if key.startswith("engine.wall_seconds.")
+        },
         "experiments": [
             {
                 "id": o.experiment_id,
@@ -146,6 +207,8 @@ def _report_payload(
                 "cached": o.cached,
                 "seconds": o.seconds,
                 "error": o.error,
+                "failed_unit": o.failed_unit,
+                "traceback": o.traceback,
                 "title": o.result.title if o.result else None,
                 "tables": (
                     [
@@ -191,10 +254,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    if args.json_path is not None and not args.json_path.parent.is_dir():
-        # Catch the typo'd path before hours of compute, not after.
-        print(f"--json: directory does not exist: {args.json_path.parent}", file=sys.stderr)
-        return 2
+    for flag, path in (
+        ("--json", args.json_path),
+        ("--trace", args.trace_path),
+        ("--metrics", args.metrics_path),
+    ):
+        if path is not None and not path.parent.is_dir():
+            # Catch the typo'd path before hours of compute, not after.
+            print(f"{flag}: directory does not exist: {path.parent}", file=sys.stderr)
+            return 2
 
     config = ExperimentConfig(
         platform=_PLATFORMS[args.platform],
@@ -203,14 +271,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         quick=args.quick,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # The registry is always live (it feeds --json's cache/wall-clock block);
+    # span capture — the part with per-unit buffers — only turns on when an
+    # artifact was requested.
+    registry = MetricsRegistry()
+    tracer = Tracer() if args.trace_path is not None else None
+    observe = args.trace_path is not None or args.metrics_path is not None
     started = time.perf_counter()
-    outcomes = run_experiments(
-        ids,
-        config,
-        jobs=args.jobs,
-        cache=cache,
-        progress=_progress_printer if args.progress else None,
-    )
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(metrics_active(registry))
+        if tracer is not None:
+            stack.enter_context(tracing(tracer))
+        outcomes = run_experiments(
+            ids,
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            progress=_progress_printer if args.progress else None,
+            observe=observe,
+        )
     wall = time.perf_counter() - started
 
     for outcome in outcomes:
@@ -233,13 +312,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             args.json_path.write_text(
                 json.dumps(
-                    _report_payload(outcomes, args, wall), indent=2, default=json_default
+                    _report_payload(outcomes, args, wall, registry),
+                    indent=2,
+                    default=json_default,
                 )
                 + "\n"
             )
         except OSError as exc:
             report_error = f"--json: could not write {args.json_path}: {exc}"
             print(report_error, file=sys.stderr)
+
+    if observe:
+        manifest = build_manifest(config, ids, outcomes)
+        if args.trace_path is not None:
+            try:
+                if args.trace_format == "chrome":
+                    write_chrome_trace(args.trace_path, tracer.spans, manifest)
+                else:
+                    write_jsonl(args.trace_path, tracer.spans, manifest)
+            except OSError as exc:
+                report_error = f"--trace: could not write {args.trace_path}: {exc}"
+                print(report_error, file=sys.stderr)
+        if args.metrics_path is not None:
+            try:
+                write_metrics(args.metrics_path, registry, manifest)
+            except OSError as exc:
+                report_error = f"--metrics: could not write {args.metrics_path}: {exc}"
+                print(report_error, file=sys.stderr)
 
     failures = [o for o in outcomes if not o.ok]
     cached_n = sum(1 for o in outcomes if o.cached)
@@ -249,7 +348,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if failures:
         for outcome in failures:
-            print(f"{outcome.experiment_id}: failed: {outcome.error}", file=sys.stderr)
+            where = (
+                f" (unit {outcome.failed_unit})" if outcome.failed_unit is not None else ""
+            )
+            print(
+                f"{outcome.experiment_id}: failed{where}: {outcome.error}",
+                file=sys.stderr,
+            )
+            if outcome.traceback:
+                print(outcome.traceback.rstrip(), file=sys.stderr)
         return 1
     return 1 if report_error else 0
 

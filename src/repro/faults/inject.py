@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.faults.model import FaultInjector
 from repro.mote.platform import Platform
 from repro.profiling.timing_profiler import TimingDataset
@@ -93,4 +94,14 @@ def collect_timing(
         corrupted=corrupted,
         glitched=glitched,
     )
+    # Telemetry (no-op when off): per-kind counters for what the uplink did
+    # to this collection pass, independent of the injector's lifetime tallies.
+    obs.inc("faults.collect.measured", measured)
+    for kind, count in (
+        ("record_drop", dropped),
+        ("record_corrupt", corrupted),
+        ("record_glitch", glitched),
+    ):
+        if count:
+            obs.inc(f"faults.injected.{kind}", count)
     return dataset, stats

@@ -1,0 +1,76 @@
+"""``repro.obs`` — tracing, metrics and run-manifest telemetry.
+
+The observability layer for the reproduction's own pipeline ("profile the
+profiler"): nestable spans with JSONL/Chrome-trace exporters
+(:mod:`repro.obs.trace`), a counters/gauges/histograms registry
+(:mod:`repro.obs.metrics`), the run manifest (:mod:`repro.obs.manifest`),
+and artifact validators (:mod:`repro.obs.validate`).
+
+The contract every instrumented module leans on: **telemetry off (the
+default) is a strict no-op** — no RNG draws, no table changes, near-zero
+work — so rendered experiment output is byte-identical with telemetry on,
+off, serial, or parallel.  See ``docs/ARCHITECTURE.md`` ("Observability").
+"""
+
+from repro.obs.manifest import SEED_SCHEME, build_manifest
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    inc,
+    metrics_active,
+    observe,
+    set_gauge,
+    write_metrics,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    chrome_trace_events,
+    current_tracer,
+    instant,
+    span,
+    tracing,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.validate import (
+    ArtifactError,
+    require_span_coverage,
+    validate_chrome_trace,
+    validate_metrics_file,
+    validate_trace_jsonl,
+)
+
+__all__ = [
+    "SEED_SCHEME",
+    "build_manifest",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "inc",
+    "metrics_active",
+    "observe",
+    "set_gauge",
+    "write_metrics",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "instant",
+    "span",
+    "tracing",
+    "write_chrome_trace",
+    "write_jsonl",
+    "ArtifactError",
+    "require_span_coverage",
+    "validate_chrome_trace",
+    "validate_metrics_file",
+    "validate_trace_jsonl",
+]

@@ -1,0 +1,358 @@
+"""Zero-dependency tracing core: nestable spans with deterministic merging.
+
+The tracer exists to "profile the profiler": every layer of the pipeline —
+simulation batches, moment/EM fits, engine scheduling — can open a
+:func:`span` around its hot section and the run produces an inspectable
+timeline artifact.  Three contracts shape the design:
+
+* **No-op by default.**  With no tracer installed (:func:`current_tracer`
+  is ``None``) the module-level :func:`span` helper returns a shared null
+  context: no allocation beyond the kwargs dict, no locking, no RNG, and —
+  critically — no effect on any rendered experiment table.  Instrumented
+  code never needs to know whether telemetry is on.
+
+* **Thread- and process-safety.**  One :class:`Tracer` may be shared by
+  many threads: each thread keeps its own span stack (nesting depth) in a
+  ``threading.local`` while finished spans append to one lock-guarded
+  buffer.  Across *processes* spans cannot be shared, so workers capture
+  into their own tracer and ship the finished :class:`SpanRecord` list back
+  (they are plain picklable dataclasses); the parent merges them with
+  :meth:`Tracer.adopt` — always in a deterministic order keyed by the work's
+  identity (experiment id, unit index), never by wall-clock arrival.
+
+* **Exportability.**  Buffered spans serialize to JSON-lines
+  (:func:`write_jsonl`) or to the Chrome ``trace_event`` format
+  (:func:`write_chrome_trace`), loadable in ``chrome://tracing`` and
+  Perfetto.  Chrome events are emitted sorted by ``(pid, tid, ts)`` so the
+  timestamp column is monotonic within every track.
+
+Timestamps are :func:`time.perf_counter` offsets relative to the owning
+tracer's construction, so they are meaningful within one process and
+comparable between spans of the same ``pid``; cross-process alignment is
+deliberately not attempted (merge order carries the semantics instead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+    "span",
+    "instant",
+    "chrome_trace_events",
+    "write_jsonl",
+    "write_chrome_trace",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or instantaneous) span.
+
+    ``start``/``end`` are seconds relative to the owning tracer's epoch;
+    ``seq`` is the span's open order within that tracer (re-stamped on
+    :meth:`Tracer.adopt` so a merged buffer has one global, deterministic
+    order); ``depth`` is the nesting depth at open time.
+    """
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    seq: int
+    pid: int
+    tid: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+            "seq": self.seq,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+
+class _OpenSpan:
+    """Handle yielded by :meth:`Tracer.span`; lets the body attach attrs."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: dict) -> None:
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes while the span is open."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """The do-nothing span: context manager + ``set()`` sink, one instance.
+
+    Stateless, so a single shared instance safely serves every disabled
+    ``with span(...)`` site in every thread.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into an in-memory buffer; see the module docstring."""
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self._pid = os.getpid()
+        self._seq = 0
+        self._tids: dict[int, int] = {}  # thread ident -> small stable int
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            return seq
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[_OpenSpan]:
+        """Record one span around the ``with`` body (closed even on error)."""
+        stack = self._stack()
+        depth = len(stack)
+        seq = self._next_seq()
+        handle = _OpenSpan(dict(attrs))
+        stack.append(name)
+        start = self._now()
+        try:
+            yield handle
+        finally:
+            end = self._now()
+            stack.pop()
+            record = SpanRecord(
+                name=name,
+                start=start,
+                end=end,
+                depth=depth,
+                seq=seq,
+                pid=self._pid,
+                tid=self._tid(),
+                attrs=handle.attrs,
+            )
+            with self._lock:
+                self.spans.append(record)
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration span at the current time and depth."""
+        now = self._now()
+        record = SpanRecord(
+            name=name,
+            start=now,
+            end=now,
+            depth=len(self._stack()),
+            seq=self._next_seq(),
+            pid=self._pid,
+            tid=self._tid(),
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self.spans.append(record)
+
+    # -- merging -------------------------------------------------------------
+
+    def adopt(
+        self,
+        spans: Sequence[SpanRecord],
+        depth_offset: Optional[int] = None,
+        **attrs,
+    ) -> None:
+        """Merge spans captured elsewhere (another process, a sub-tracer).
+
+        Callers MUST invoke ``adopt`` in an order derived from the work's
+        identity — request order of experiment ids, index order of units —
+        never from completion time; that is the whole determinism story of
+        multi-process traces.  Adopted spans keep their own timestamps,
+        ``pid`` and ``tid`` (per-track monotonicity survives), are re-stamped
+        with fresh ``seq`` values in their original relative order, shifted
+        ``depth_offset`` levels deeper (default: the adopting thread's
+        current depth), and tagged with ``attrs`` (e.g. ``experiment="f1"``,
+        ``unit=3``).
+        """
+        if depth_offset is None:
+            depth_offset = len(self._stack())
+        for record in sorted(spans, key=lambda s: s.seq):
+            merged = SpanRecord(
+                name=record.name,
+                start=record.start,
+                end=record.end,
+                depth=record.depth + depth_offset,
+                seq=self._next_seq(),
+                pid=record.pid,
+                tid=record.tid,
+                attrs={**record.attrs, **attrs},
+            )
+            with self._lock:
+                self.spans.append(merged)
+
+
+# --------------------------------------------------------------------------
+# The installed tracer (one per process; workers install their own)
+# --------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer :func:`span` feeds, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the process-wide active tracer for the body."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **attrs) -> Union[_NullSpan, "contextmanager"]:
+    """Open a span on the active tracer — or do nothing at all.
+
+    This is the helper instrumented code calls; the disabled path is a
+    single global read plus the shared :data:`NULL_SPAN`, which is what
+    keeps telemetry-off runs indistinguishable from uninstrumented code.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def instant(name: str, **attrs) -> None:
+    """Record an instantaneous event on the active tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **attrs)
+
+
+# --------------------------------------------------------------------------
+# Exporters
+# --------------------------------------------------------------------------
+
+
+def write_jsonl(
+    path: Union[str, Path],
+    spans: Sequence[SpanRecord],
+    manifest: Optional[dict] = None,
+) -> Path:
+    """Write spans as JSON lines, one record per line, in ``seq`` order.
+
+    When ``manifest`` is given it becomes the first line (tagged
+    ``"type": "manifest"``) so a stream reader has run identity before the
+    first span.
+    """
+    path = Path(path)
+    lines = []
+    if manifest is not None:
+        lines.append(json.dumps({"type": "manifest", **manifest}, sort_keys=True))
+    for record in sorted(spans, key=lambda s: s.seq):
+        lines.append(json.dumps(record.to_dict(), sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def chrome_trace_events(spans: Sequence[SpanRecord]) -> list[dict]:
+    """Spans as Chrome ``trace_event`` complete events (``"ph": "X"``).
+
+    Timestamps convert to integer microseconds; events are sorted by
+    ``(pid, tid, ts, seq)`` so ``ts`` is monotonically non-decreasing within
+    every (pid, tid) track — the property ``chrome://tracing`` and Perfetto
+    rely on for stream ingestion.
+    """
+    events = []
+    for record in spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": int(round(record.start * 1e6)),
+                "dur": max(int(round(record.duration * 1e6)), 0),
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": {**record.attrs, "seq": record.seq, "depth": record.depth},
+            }
+        )
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["args"]["seq"]))
+    return events
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Sequence[SpanRecord],
+    manifest: Optional[dict] = None,
+) -> Path:
+    """Write the Chrome/Perfetto ``trace_event`` JSON object format."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": manifest or {},
+    }
+    path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,189 @@
+"""Structural validation of telemetry artifacts (no external schema deps).
+
+CI's smoke job — and any consumer pulling a ``--trace``/``--metrics``
+artifact off a finished run — needs a cheap answer to "is this file the
+shape the exporters promise".  The checks here are hand-rolled (the
+container has no ``jsonschema``) but express the same contracts a JSON
+schema would: required keys with required types, monotonic ``ts`` per
+(pid, tid) track in Chrome traces, balanced non-negative spans, histogram
+bucket/count length agreement.
+
+Each validator raises :class:`ArtifactError` with a path-qualified message
+on first violation and returns a small summary dict on success (the smoke
+script prints it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+__all__ = [
+    "ArtifactError",
+    "validate_trace_jsonl",
+    "validate_chrome_trace",
+    "validate_metrics_file",
+    "require_span_coverage",
+]
+
+#: Span-name prefixes that prove the trace covered a pipeline layer.
+LAYER_PREFIXES = {
+    "engine": ("engine.", "experiment"),
+    "sim": ("sim.",),
+    "estimator": ("estimate.",),
+}
+
+
+class ArtifactError(ValueError):
+    """A telemetry artifact violated its documented structure."""
+
+
+def _need(mapping: dict, key: str, types, where: str):
+    if key not in mapping:
+        raise ArtifactError(f"{where}: missing required key {key!r}")
+    value = mapping[key]
+    if not isinstance(value, types):
+        raise ArtifactError(
+            f"{where}: key {key!r} must be {types}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _check_span_record(record: dict, where: str) -> None:
+    _need(record, "name", str, where)
+    start = _need(record, "start", (int, float), where)
+    end = _need(record, "end", (int, float), where)
+    _need(record, "depth", int, where)
+    _need(record, "seq", int, where)
+    _need(record, "pid", int, where)
+    _need(record, "tid", int, where)
+    _need(record, "attrs", dict, where)
+    if end < start:
+        raise ArtifactError(f"{where}: span ends ({end}) before it starts ({start})")
+    if record["depth"] < 0:
+        raise ArtifactError(f"{where}: negative depth {record['depth']}")
+
+
+def validate_trace_jsonl(path: Union[str, Path]) -> dict:
+    """Validate a JSONL trace; returns ``{"spans": n, "names": set, ...}``."""
+    path = Path(path)
+    names: set[str] = set()
+    spans = 0
+    manifest_lines = 0
+    last_seq = -1
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        where = f"{path.name}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"{where}: not valid JSON: {exc}") from exc
+        kind = _need(record, "type", str, where)
+        if kind == "manifest":
+            if lineno != 1:
+                raise ArtifactError(f"{where}: manifest must be the first line")
+            manifest_lines += 1
+            continue
+        if kind != "span":
+            raise ArtifactError(f"{where}: unknown record type {kind!r}")
+        _check_span_record(record, where)
+        if record["seq"] <= last_seq:
+            raise ArtifactError(
+                f"{where}: seq {record['seq']} not increasing (after {last_seq})"
+            )
+        last_seq = record["seq"]
+        names.add(record["name"])
+        spans += 1
+    if spans == 0:
+        raise ArtifactError(f"{path.name}: contains no span records")
+    return {"spans": spans, "names": names, "has_manifest": bool(manifest_lines)}
+
+
+def validate_chrome_trace(path: Union[str, Path]) -> dict:
+    """Validate a Chrome ``trace_event`` export: shape + per-track monotonic ts."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path.name}: not valid JSON: {exc}") from exc
+    events = _need(payload, "traceEvents", list, path.name)
+    if not events:
+        raise ArtifactError(f"{path.name}: traceEvents is empty")
+    names: set[str] = set()
+    last_ts: dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        where = f"{path.name}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ArtifactError(f"{where}: event must be an object")
+        name = _need(event, "name", str, where)
+        _need(event, "ph", str, where)
+        ts = _need(event, "ts", int, where)
+        dur = _need(event, "dur", int, where)
+        pid = _need(event, "pid", int, where)
+        tid = _need(event, "tid", int, where)
+        if dur < 0:
+            raise ArtifactError(f"{where}: negative dur {dur}")
+        track = (pid, tid)
+        if track in last_ts and ts < last_ts[track]:
+            raise ArtifactError(
+                f"{where}: ts {ts} decreases within track pid={pid} tid={tid} "
+                f"(previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        names.add(name)
+    return {"spans": len(events), "names": names, "tracks": len(last_ts)}
+
+
+def validate_metrics_file(path: Union[str, Path]) -> dict:
+    """Validate a ``--metrics`` snapshot file (metrics + embedded manifest)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path.name}: not valid JSON: {exc}") from exc
+    metrics = _need(payload, "metrics", dict, path.name)
+    counters = _need(metrics, "counters", dict, f"{path.name}: metrics")
+    _need(metrics, "gauges", dict, f"{path.name}: metrics")
+    histograms = _need(metrics, "histograms", dict, f"{path.name}: metrics")
+    for name, value in counters.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ArtifactError(
+                f"{path.name}: counter {name!r} must be a non-negative number"
+            )
+    for name, hist in histograms.items():
+        where = f"{path.name}: histogram {name!r}"
+        bounds = _need(hist, "bounds", list, where)
+        counts = _need(hist, "counts", list, where)
+        count = _need(hist, "count", (int, float), where)
+        _need(hist, "sum", (int, float), where)
+        if len(counts) != len(bounds) + 1:
+            raise ArtifactError(
+                f"{where}: expected {len(bounds) + 1} buckets, got {len(counts)}"
+            )
+        if sum(counts) != count:
+            raise ArtifactError(f"{where}: bucket counts {sum(counts)} != count {count}")
+    if "manifest" in payload:
+        manifest = payload["manifest"]
+        for key in ("schema_version", "repro_version", "seed_scheme", "config", "host"):
+            _need(manifest, key, object, f"{path.name}: manifest")
+    return {
+        "counters": len(counters),
+        "histograms": len(histograms),
+        "has_manifest": "manifest" in payload,
+    }
+
+
+def require_span_coverage(names: set[str]) -> dict:
+    """Assert the span names cover the engine, sim and estimator layers."""
+    covered = {}
+    for layer, prefixes in LAYER_PREFIXES.items():
+        covered[layer] = any(
+            name == p or name.startswith(p) for name in names for p in prefixes
+        )
+    missing = sorted(layer for layer, ok in covered.items() if not ok)
+    if missing:
+        raise ArtifactError(
+            f"trace does not cover layer(s): {', '.join(missing)} "
+            f"(saw span names: {', '.join(sorted(names))})"
+        )
+    return covered

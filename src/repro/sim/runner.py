@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.faults.model import FaultInjector, FaultModel
 from repro.mote.platform import Platform
 from repro.mote.sensors import SensorSuite
@@ -73,12 +74,29 @@ def run_program(
         record_paths=record_paths,
         faults=faults,
     )
-    for _ in range(activations):
-        mark = len(interp.records)
-        interp.run_activation()
-        if faults is not None and faults.reboot_during_activation():
-            del interp.records[mark:]
-            interp.reboot()
+    # Telemetry (strict no-op when off): the span brackets the whole run;
+    # fault counters report only this run's firings (the injector's tallies
+    # may span several calls), diffed after the loop so the hot path stays
+    # untouched.
+    faults_before = dict(faults.counts) if faults is not None else None
+    with obs.span(
+        "sim.run", program=program.name, activations=activations
+    ) as sim_span:
+        for _ in range(activations):
+            mark = len(interp.records)
+            interp.run_activation()
+            if faults is not None and faults.reboot_during_activation():
+                del interp.records[mark:]
+                interp.reboot()
+        sim_span.set(cycles=interp.cycle, records=len(interp.records))
+    obs.inc("sim.runs")
+    obs.inc("sim.activations", activations)
+    obs.inc("sim.cycles", interp.cycle)
+    if faults is not None:
+        for kind, count in faults.counts.items():
+            fired = count - faults_before.get(kind, 0)
+            if fired:
+                obs.inc(f"faults.injected.{kind}", fired)
     energy = platform.energy.total_mj(
         cycles=interp.cycle,
         conversions=interp.counters.sense_reads,
@@ -181,15 +199,17 @@ def _run_batch(
     faults = None
     if fault_model is not None and fault_model.enabled:
         faults = FaultInjector(fault_model, seed_seq.spawn(1)[0])
-    return run_program(
-        program,
-        platform,
-        sensors,
-        activations=activations,
-        layout=layout,
-        record_paths=record_paths,
-        faults=faults,
-    )
+    with obs.span("sim.batch", program=program.name, activations=activations):
+        obs.inc("sim.batches")
+        return run_program(
+            program,
+            platform,
+            sensors,
+            activations=activations,
+            layout=layout,
+            record_paths=record_paths,
+            faults=faults,
+        )
 
 
 def run_program_batched(
@@ -257,4 +277,5 @@ def run_program_batched(
             [fault_model] * len(sizes),
         )
     )
-    return merge_run_results(results)
+    with obs.span("sim.merge_batches", program=program.name, batches=len(results)):
+        return merge_run_results(results)

@@ -25,7 +25,9 @@ from repro.experiments.common import ExperimentConfig
 from repro.util.tables import Table
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
-GOLDEN_FILES = sorted(RESULTS_DIR.glob("*.txt"))
+# obs.txt records telemetry overhead ratios (wall-clock, host-dependent) —
+# it is not a seed-determined render and cannot be pinned byte-for-byte.
+GOLDEN_FILES = sorted(p for p in RESULTS_DIR.glob("*.txt") if p.stem != "obs")
 GOLDEN_CONFIG = ExperimentConfig(activations=3000, seed=2015, quick=False)
 
 

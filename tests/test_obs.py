@@ -1,0 +1,423 @@
+"""Unit tests for the telemetry layer (:mod:`repro.obs`).
+
+Covers the tracer core (nesting, thread safety, deterministic adoption),
+the metrics registry (instruments, snapshot merge), both trace exporters
+(JSONL + Chrome ``trace_event``, round-tripped through ``json.loads``),
+the run manifest, and the artifact validators the CI smoke job relies on.
+The end-to-end bit-identity and CLI contracts live in
+``tests/test_obs_integration.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnitExecutionError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    ArtifactError,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    chrome_trace_events,
+    current_registry,
+    current_tracer,
+    metrics_active,
+    require_span_coverage,
+    tracing,
+    validate_chrome_trace,
+    validate_metrics_file,
+    validate_trace_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro import obs
+
+
+class TestTracer:
+    def test_spans_nest_and_record_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # Inner closes first but seq reflects open order.
+        assert by_name["outer"].seq < by_name["inner"].seq
+        assert by_name["inner"].start >= by_name["outer"].start
+        assert by_name["inner"].end <= by_name["outer"].end
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["doomed"]
+        # The stack unwound: the next span is back at depth 0.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].depth == 0
+
+    def test_attrs_set_inside_the_body(self):
+        tracer = Tracer()
+        with tracer.span("work", fixed=1) as handle:
+            handle.set(result=42)
+        (span,) = tracer.spans
+        assert span.attrs == {"fixed": 1, "result": 42}
+
+    def test_instant_records_zero_duration(self):
+        tracer = Tracer()
+        tracer.instant("tick", k="v")
+        (span,) = tracer.spans
+        assert span.start == span.end
+        assert span.attrs == {"k": "v"}
+
+    def test_module_span_is_null_when_no_tracer(self):
+        assert current_tracer() is None
+        handle = obs.span("ignored", a=1)
+        # Shared null object: usable as a context manager, records nothing.
+        with handle as h:
+            h.set(b=2)
+        assert handle is obs.span("also_ignored")
+
+    def test_tracing_installs_and_restores(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            assert current_tracer() is tracer
+            with obs.span("seen"):
+                pass
+        assert current_tracer() is None
+        assert [s.name for s in tracer.spans] == ["seen"]
+
+    def test_threads_get_independent_depth_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(label):
+            with tracer.span(f"outer-{label}"):
+                barrier.wait(timeout=10)
+                with tracer.span(f"inner-{label}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        depths = {s.name: s.depth for s in tracer.spans}
+        assert depths["inner-0"] == depths["inner-1"] == 1
+        assert depths["outer-0"] == depths["outer-1"] == 0
+        tids = {s.tid for s in tracer.spans}
+        assert len(tids) == 2
+
+    def test_adopt_restamps_seq_in_original_order(self):
+        worker = Tracer()
+        with worker.span("a"):
+            pass
+        with worker.span("b"):
+            pass
+        parent = Tracer()
+        with parent.span("host"):
+            pass
+        parent.adopt(worker.spans, unit=3)
+        names = [s.name for s in sorted(parent.spans, key=lambda s: s.seq)]
+        assert names == ["host", "a", "b"]
+        adopted = [s for s in parent.spans if s.name in ("a", "b")]
+        assert all(s.attrs["unit"] == 3 for s in adopted)
+        # Fresh seq values, strictly increasing, after the host span's.
+        seqs = sorted(s.seq for s in parent.spans)
+        assert seqs == list(range(len(seqs)))
+
+    def test_adopt_offsets_depth_by_current_nesting(self):
+        worker = Tracer()
+        with worker.span("w_outer"):
+            with worker.span("w_inner"):
+                pass
+        parent = Tracer()
+        with parent.span("host"):
+            parent.adopt(worker.spans)
+        depths = {s.name: s.depth for s in parent.spans}
+        assert depths == {"host": 0, "w_outer": 1, "w_inner": 2}
+
+    def test_span_records_pickle(self):
+        tracer = Tracer()
+        with tracer.span("x", n=1):
+            pass
+        clone = pickle.loads(pickle.dumps(tracer.spans))
+        assert clone == tracer.spans
+
+
+@given(
+    script=st.lists(
+        st.sampled_from(["push", "pop", "instant"]), min_size=1, max_size=60
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_span_nesting_always_balances(script):
+    """Property: any open/close/instant interleaving yields balanced spans.
+
+    Whatever order the script pushes and pops, every recorded span must
+    close inside its parent (interval containment per depth) and depth must
+    equal the number of still-open ancestors at open time.
+    """
+    tracer = Tracer()
+    open_stack = []
+    expected = 0
+    for op in script:
+        if op == "push":
+            cm = tracer.span(f"s{expected}")
+            cm.__enter__()
+            open_stack.append(cm)
+            expected += 1
+        elif op == "pop" and open_stack:
+            open_stack.pop().__exit__(None, None, None)
+        elif op == "instant":
+            tracer.instant("i")
+    while open_stack:
+        open_stack.pop().__exit__(None, None, None)
+
+    spans = sorted(tracer.spans, key=lambda s: s.seq)
+    assert all(s.end >= s.start for s in spans)
+    assert all(s.depth >= 0 for s in spans)
+    # Replay open order: depth must match the live-ancestor count, exactly
+    # the invariant an unbalanced tracer bug would break.
+    live: list = []
+    for s in spans:
+        while live and not (live[-1].start <= s.start and s.end <= live[-1].end):
+            live.pop()
+        assert s.depth == len(live)
+        if s.end > s.start:
+            live.append(s)
+
+
+class TestMetrics:
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_histogram_bins_and_overflow(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert hist.count == 4
+        assert hist.total == pytest.approx(106.5)
+
+    def test_histogram_rejects_nonincreasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_snapshot_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set(1)
+        b.gauge("g").set(7)
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 2.0)).observe(5.0)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5
+        assert snap["gauges"]["g"] == 7  # last write wins
+        assert snap["histograms"]["h"]["counts"] == [1, 0, 1]
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_merge_rejects_mismatched_bucket_layouts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_module_helpers_are_noops_when_off(self):
+        assert current_registry() is None
+        obs.inc("never", 5)
+        obs.set_gauge("never", 1.0)
+        obs.observe("never", 0.5)
+        registry = MetricsRegistry()
+        with metrics_active(registry):
+            obs.inc("seen", 2)
+        assert registry.snapshot()["counters"] == {"seen": 2}
+        assert current_registry() is None
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+
+class TestExporters:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("experiment", id="t1"):
+            with tracer.span("sim.run", program="blink"):
+                pass
+            with tracer.span("estimate.program", method="moments"):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tracer.spans, manifest={"schema_version": 1})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "manifest"
+        spans = [rec for rec in lines if rec["type"] == "span"]
+        assert [s["name"] for s in spans] == [
+            "experiment",
+            "sim.run",
+            "estimate.program",
+        ]
+        seqs = [s["seq"] for s in spans]
+        assert seqs == sorted(seqs)
+        summary = validate_trace_jsonl(path)
+        assert summary["spans"] == 3 and summary["has_manifest"]
+
+    def test_chrome_trace_round_trip_and_monotonic_ts(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer.spans, manifest={"schema_version": 1})
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert {e["ph"] for e in events} == {"X"}
+        assert all(e["dur"] >= 0 for e in events)
+        # ts is monotonically non-decreasing within every (pid, tid) track.
+        last = {}
+        for event in events:
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(track, -1)
+            last[track] = event["ts"]
+        assert payload["otherData"] == {"schema_version": 1}
+        validate_chrome_trace(path)
+
+    def test_chrome_events_sorted_across_adopted_processes(self):
+        # Fake spans from two "processes" interleaved in adoption order:
+        # the exporter must still emit per-track monotonic timestamps.
+        tracer = Tracer()
+        worker = Tracer()
+        with worker.span("late"):
+            pass
+        with tracer.span("host"):
+            pass
+        tracer.adopt(worker.spans)
+        events = chrome_trace_events(tracer.spans)
+        last = {}
+        for event in events:
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(track, -1)
+            last[track] = event["ts"]
+
+    def test_metrics_file_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("sim.runs").inc(4)
+        registry.histogram("h").observe(0.2)
+        path = tmp_path / "metrics.json"
+        write_metrics(path, registry, manifest=None)
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"]["sim.runs"] == 4
+        summary = validate_metrics_file(path)
+        assert summary["counters"] == 1 and summary["histograms"] == 1
+
+
+class TestManifest:
+    def test_manifest_shape(self, quick_config=None):
+        from repro.experiments.common import ExperimentConfig
+
+        config = ExperimentConfig(quick=True, seed=2015, activations=600)
+        manifest = build_manifest(config, ["t1", "f7"])
+        assert manifest["schema_version"] == 1
+        assert manifest["config"]["seed"] == 2015
+        assert set(manifest["experiments"]) == {"t1", "f7"}
+        for entry in manifest["experiments"].values():
+            assert isinstance(entry["fingerprint"], str) and entry["fingerprint"]
+        assert manifest["host"]["python"]
+        json.dumps(manifest)  # plain JSON, no numpy leakage
+
+    def test_fingerprint_tracks_config(self):
+        from repro.experiments.common import ExperimentConfig
+
+        a = build_manifest(ExperimentConfig(quick=True, seed=1), ["t1"])
+        b = build_manifest(ExperimentConfig(quick=True, seed=2), ["t1"])
+        assert (
+            a["experiments"]["t1"]["fingerprint"]
+            != b["experiments"]["t1"]["fingerprint"]
+        )
+
+
+class TestValidators:
+    def test_jsonl_validator_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            validate_trace_jsonl(path)
+
+    def test_jsonl_validator_rejects_decreasing_seq(self, tmp_path):
+        span = {
+            "type": "span", "name": "a", "start": 0.0, "end": 1.0,
+            "depth": 0, "pid": 1, "tid": 0, "attrs": {},
+        }
+        path = tmp_path / "seq.jsonl"
+        path.write_text(
+            json.dumps({**span, "seq": 1}) + "\n" + json.dumps({**span, "seq": 0}) + "\n"
+        )
+        with pytest.raises(ArtifactError, match="seq"):
+            validate_trace_jsonl(path)
+
+    def test_chrome_validator_rejects_ts_regression(self, tmp_path):
+        event = {"name": "a", "ph": "X", "dur": 1, "pid": 1, "tid": 0}
+        path = tmp_path / "chrome.json"
+        path.write_text(
+            json.dumps({"traceEvents": [{**event, "ts": 5}, {**event, "ts": 3}]})
+        )
+        with pytest.raises(ArtifactError, match="decreases"):
+            validate_chrome_trace(path)
+
+    def test_metrics_validator_rejects_bucket_count_mismatch(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "metrics": {
+                        "counters": {},
+                        "gauges": {},
+                        "histograms": {
+                            "h": {"bounds": [1.0], "counts": [1], "sum": 1.0, "count": 1}
+                        },
+                    }
+                }
+            )
+        )
+        with pytest.raises(ArtifactError, match="buckets"):
+            validate_metrics_file(path)
+
+    def test_span_coverage_requires_all_layers(self):
+        with pytest.raises(ArtifactError, match="estimator"):
+            require_span_coverage({"experiment", "sim.run"})
+        covered = require_span_coverage({"experiment", "sim.run", "estimate.em"})
+        assert covered == {"engine": True, "sim": True, "estimator": True}
+
+
+class TestUnitExecutionError:
+    def test_message_carries_unit_index(self):
+        err = UnitExecutionError(3, "ValueError: boom", "Traceback ...")
+        assert err.unit_index == 3
+        assert "unit 3" in str(err)
+        assert err.traceback_str == "Traceback ..."
+
+    def test_survives_pickling(self):
+        err = UnitExecutionError(7, "RuntimeError: x", "tb")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.unit_index == 7
+        assert clone.message == "RuntimeError: x"
+        assert clone.traceback_str == "tb"
