@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Track benchmark runs over time and gate on regressions.
+
+Two modes, usable together or separately:
+
+**Ingest** — after ``pytest benchmarks/ --benchmark-only
+--benchmark-json=bench.json`` (the benchmark conftest also dumps
+hardware-counter snapshots under ``benchmarks/results/counters/``), fold
+the run into the append-only history::
+
+    python scripts/bench_track.py \\
+        --benchmark-json bench.json \\
+        --counters-dir benchmarks/results/counters \\
+        --history-dir benchmarks/history
+
+**Check** — gate the newest history point against the trail::
+
+    python scripts/bench_track.py --check --history-dir benchmarks/history
+
+The check fails (exit 1) on a wall-clock regression beyond
+``--max-regression`` (default 20% over the trailing median) or on counter
+drift — hardware counters are seed-determined, so two runs at the same git
+sha must be bit-identical.  ``--counter-determinism-only`` skips the
+wall-clock gate; use it on shared CI runners where time is noise but
+determinism is still binary.
+
+Exit codes: 0 ok, 1 regression/drift or bad artifact, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.errors import ObsError
+from repro.obs.bench_history import (
+    DEFAULT_MAX_REGRESSION,
+    append_record,
+    bench_path,
+    build_record,
+    check_history,
+    load_history,
+)
+
+DEFAULT_HISTORY_DIR = Path("benchmarks") / "history"
+
+
+def git_sha() -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def _load_counter_snapshots(directory: Path) -> dict:
+    snapshots = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            snapshots[path.stem] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ObsError(f"cannot read counter snapshot {path}: {exc}") from exc
+    return snapshots
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_track",
+        description=__doc__.splitlines()[0],
+        epilog="exit codes: 0 ok; 1 regression, drift, or unreadable artifact; "
+        "2 usage error",
+    )
+    parser.add_argument(
+        "--benchmark-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="pytest-benchmark JSON export to ingest",
+    )
+    parser.add_argument(
+        "--counters-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory of per-benchmark hardware-counter snapshot JSONs "
+        "(e.g. benchmarks/results/counters)",
+    )
+    parser.add_argument(
+        "--history-dir",
+        type=Path,
+        default=DEFAULT_HISTORY_DIR,
+        metavar="DIR",
+        help=f"bench-history location (default: {DEFAULT_HISTORY_DIR})",
+    )
+    parser.add_argument(
+        "--date",
+        default=None,
+        metavar="YYYY-MM-DD",
+        help="history file date to ingest into (default: today)",
+    )
+    parser.add_argument(
+        "--git-sha",
+        default=None,
+        metavar="SHA",
+        help="commit to stamp on the record (default: git rev-parse HEAD)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the newest history record against the trailing records",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        metavar="FRAC",
+        help="wall-clock slowdown tolerance as a fraction "
+        f"(default: {DEFAULT_MAX_REGRESSION})",
+    )
+    parser.add_argument(
+        "--counter-determinism-only",
+        action="store_true",
+        help="check only counter bit-identity, not wall-clock (for shared "
+        "CI runners where time is noise)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    ingest = args.benchmark_json is not None or args.counters_dir is not None
+    if not ingest and not args.check:
+        parser.error(
+            "nothing to do; pass --benchmark-json/--counters-dir to ingest "
+            "and/or --check to gate"
+        )
+    if args.max_regression < 0:
+        parser.error(f"--max-regression must be >= 0, got {args.max_regression}")
+
+    try:
+        if ingest:
+            benchmark_payload = None
+            if args.benchmark_json is not None:
+                try:
+                    benchmark_payload = json.loads(args.benchmark_json.read_text())
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise ObsError(
+                        f"cannot read benchmark export {args.benchmark_json}: {exc}"
+                    ) from exc
+            snapshots = (
+                _load_counter_snapshots(args.counters_dir)
+                if args.counters_dir is not None
+                else None
+            )
+            record = build_record(
+                benchmark_payload=benchmark_payload,
+                counter_snapshots=snapshots,
+                git_sha=args.git_sha or git_sha(),
+            )
+            path = append_record(bench_path(args.history_dir, args.date), record)
+            print(
+                f"{path}: recorded {len(record['benchmarks'])} benchmark(s), "
+                f"{len(record['counters'])} counter snapshot(s) "
+                f"at {record['git_sha'][:12]}"
+            )
+
+        if args.check:
+            records = load_history(args.history_dir)
+            failures = check_history(
+                records,
+                max_regression=args.max_regression,
+                wallclock=not args.counter_determinism_only,
+                counters=True,
+            )
+            if failures:
+                for failure in failures:
+                    print(f"bench check FAILED: {failure}", file=sys.stderr)
+                return 1
+            gates = (
+                "counter determinism"
+                if args.counter_determinism_only
+                else f"wall-clock (+{args.max_regression:.0%}) and counter determinism"
+            )
+            print(f"bench check OK: {len(records)} record(s), gates: {gates}")
+    except ObsError as exc:
+        print(f"bench track FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

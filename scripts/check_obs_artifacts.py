@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Validate ``--trace`` / ``--metrics`` artifacts from a telemetry run.
+"""Validate telemetry artifacts from an observed or benchmarked run.
 
 CI's observability smoke job runs one small experiment with telemetry on and
 pipes the artifacts through this script; it exits non-zero with a
@@ -8,10 +8,14 @@ path-qualified message on the first structural violation (see
 
     python scripts/check_obs_artifacts.py \
         --trace trace.jsonl [--trace-format jsonl|chrome] \
-        --metrics metrics.json [--require-coverage]
+        --metrics metrics.json [--require-coverage] \
+        --hw-counters snapshot.json --bench BENCH_2026-08-06.json
 
 ``--require-coverage`` additionally asserts the span names prove the trace
-covered the engine, sim and estimator layers.
+covered the engine, sim and estimator layers.  ``--hw-counters`` validates a
+hardware-counter snapshot (``benchmarks/results/counters/*.json`` or any
+file holding a ``repro.hwcounters/1`` object); ``--bench`` validates a
+``BENCH_<date>.json`` history file written by ``scripts/bench_track.py``.
 """
 
 from __future__ import annotations
@@ -22,27 +26,50 @@ import sys
 from repro.obs.validate import (
     ArtifactError,
     require_span_coverage,
+    validate_bench_file,
     validate_chrome_trace,
+    validate_hw_counters_file,
     validate_metrics_file,
     validate_trace_jsonl,
 )
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="exit codes: 0 all artifacts valid; 1 invalid or unreadable "
+        "artifact; 2 usage error",
+    )
     parser.add_argument("--trace", default=None, help="trace artifact to validate")
     parser.add_argument(
         "--trace-format", choices=("jsonl", "chrome"), default="jsonl"
     )
     parser.add_argument("--metrics", default=None, help="metrics artifact to validate")
     parser.add_argument(
+        "--hw-counters",
+        default=None,
+        metavar="PATH",
+        help="hardware-counter snapshot JSON to validate",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="BENCH_<date>.json benchmark-history file to validate",
+    )
+    parser.add_argument(
         "--require-coverage",
         action="store_true",
         help="assert the trace covers the engine, sim and estimator layers",
     )
     args = parser.parse_args(argv)
-    if args.trace is None and args.metrics is None:
-        parser.error("nothing to check; pass --trace and/or --metrics")
+    if all(
+        value is None
+        for value in (args.trace, args.metrics, args.hw_counters, args.bench)
+    ):
+        parser.error(
+            "nothing to check; pass --trace, --metrics, --hw-counters and/or --bench"
+        )
 
     try:
         if args.trace is not None:
@@ -62,9 +89,23 @@ def main(argv=None) -> int:
             print(
                 f"{args.metrics}: OK — {summary['counters']} counters, "
                 f"{summary['histograms']} histograms, "
-                f"manifest={'yes' if summary['has_manifest'] else 'no'}"
+                f"manifest={'yes' if summary['has_manifest'] else 'no'}, "
+                f"hw-counters={'yes' if summary['has_hw_counters'] else 'no'}"
             )
-    except ArtifactError as exc:
+        if args.hw_counters is not None:
+            summary = validate_hw_counters_file(args.hw_counters)
+            print(
+                f"{args.hw_counters}: OK — {summary['counters']} counters, "
+                f"{summary['procs']} procedures attributed"
+            )
+        if args.bench is not None:
+            summary = validate_bench_file(args.bench)
+            print(
+                f"{args.bench}: OK — {summary['records']} record(s), "
+                f"{summary['benchmarks']} benchmark stat(s), "
+                f"{summary['snapshots']} counter snapshot(s)"
+            )
+    except (ArtifactError, OSError) as exc:
         print(f"artifact check FAILED: {exc}", file=sys.stderr)
         return 1
     return 0

@@ -28,6 +28,7 @@ __all__ = [
     "WorkloadError",
     "ExperimentError",
     "UnitExecutionError",
+    "ObsError",
 ]
 
 
@@ -111,6 +112,17 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Errors from the experiment harness (:mod:`repro.experiments`)."""
+
+
+class ObsError(ReproError):
+    """Errors from the observability layer (:mod:`repro.obs`).
+
+    Raised when telemetry artifacts cannot be combined soundly — e.g.
+    merging metric snapshots whose histogram bucket boundaries disagree, or
+    diffing hardware-counter snapshots from different registries.  Loud by
+    design: a silently misaligned merge would corrupt every downstream
+    reading.
+    """
 
 
 class UnitExecutionError(ExperimentError):

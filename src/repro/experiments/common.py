@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import Executor
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Optional, Sequence, TypeVar
 
@@ -40,6 +40,7 @@ from repro.core import CodeTomography, EstimationOptions
 from repro.errors import UnitExecutionError
 from repro.obs import MetricsRegistry, Tracer, current_registry, current_tracer
 from repro.obs import metrics_active, tracing
+from repro.obs import counters as hwc
 from repro.ir.program import Program
 from repro.mote.platform import MICAZ_LIKE, Platform
 from repro.placement.layout import ProgramLayout
@@ -159,28 +160,47 @@ class _UnitCall:
     Runs in whatever process the executor chose.  A raising unit becomes a
     :class:`~repro.errors.UnitExecutionError` carrying the unit index and
     formatted traceback (pool futures strip both otherwise).  With
-    ``capture`` set, the unit executes under a fresh tracer/registry whose
-    buffers ride back with the result — the caller merges them in unit-index
-    order, which is what makes multi-process traces deterministic.
+    ``capture`` set, the unit executes under a fresh tracer/registry —
+    likewise ``capture_hw`` and a fresh (isolated) hardware-counter
+    registry — whose buffers ride back with the result; the caller merges
+    them in unit-index order, which is what makes multi-process telemetry
+    deterministic.
     """
 
-    __slots__ = ("fn", "capture")
+    __slots__ = ("fn", "capture", "capture_hw")
 
-    def __init__(self, fn: Callable[[_T], _U], capture: bool) -> None:
+    def __init__(self, fn: Callable[[_T], _U], capture: bool, capture_hw: bool = False) -> None:
         self.fn = fn
         self.capture = capture
+        self.capture_hw = capture_hw
 
-    def __call__(self, indexed: tuple[int, _T]) -> tuple[_U, Optional[list], Optional[dict]]:
+    def __call__(
+        self, indexed: tuple[int, _T]
+    ) -> tuple[_U, Optional[list], Optional[dict], Optional[dict]]:
         index, item = indexed
         try:
-            if not self.capture:
-                return self.fn(item), None, None
-            tracer = Tracer()
-            registry = MetricsRegistry()
-            with tracing(tracer), metrics_active(registry):
-                with tracer.span("unit", index=index):
-                    result = self.fn(item)
-            return result, tracer.spans, registry.snapshot()
+            if not self.capture and not self.capture_hw:
+                return self.fn(item), None, None, None
+            tracer = registry = hw = None
+            with ExitStack() as stack:
+                if self.capture:
+                    tracer, registry = Tracer(), MetricsRegistry()
+                    stack.enter_context(tracing(tracer))
+                    stack.enter_context(metrics_active(registry))
+                    stack.enter_context(tracer.span("unit", index=index))
+                if self.capture_hw:
+                    # Isolated: the snapshot travels back and the caller
+                    # merges it explicitly, so folding into an ambient
+                    # registry here would double count.
+                    hw = hwc.HardwareCounters()
+                    stack.enter_context(hwc.counters_active(hw, isolated=True))
+                result = self.fn(item)
+            return (
+                result,
+                tracer.spans if tracer is not None else None,
+                registry.snapshot() if registry is not None else None,
+                hw.snapshot() if hw is not None else None,
+            )
         except UnitExecutionError:
             raise
         except Exception as exc:
@@ -208,18 +228,25 @@ def map_units(fn: Callable[[_T], _U], units: Sequence[_T]) -> list[_U]:
     executor = _UNIT_EXECUTOR
     tracer = current_tracer()
     registry = current_registry()
-    call = _UnitCall(fn, capture=tracer is not None or registry is not None)
+    hw_parent = hwc.active()
+    call = _UnitCall(
+        fn,
+        capture=tracer is not None or registry is not None,
+        capture_hw=hw_parent is not None,
+    )
     indexed = list(enumerate(items))
     if executor is None or len(items) <= 1:
         outputs = [call(pair) for pair in indexed]
     else:
         outputs = list(executor.map(call, indexed))
     results: list[_U] = []
-    for index, (result, spans, metrics) in enumerate(outputs):
+    for index, (result, spans, metrics, hw_snap) in enumerate(outputs):
         if spans and tracer is not None:
             tracer.adopt(spans, unit=index)
         if metrics and registry is not None:
             registry.merge_snapshot(metrics)
+        if hw_snap and hw_parent is not None:
+            hw_parent.merge_snapshot(hw_snap)
         results.append(result)
     return results
 

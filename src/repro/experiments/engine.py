@@ -48,6 +48,7 @@ from repro import obs
 from repro.errors import UnitExecutionError
 from repro.experiments.common import ExperimentConfig, ExperimentResult, unit_executor
 from repro.obs import MetricsRegistry, SpanRecord, Tracer
+from repro.obs import counters as hwc
 from repro.profiling.serialize import (
     experiment_result_from_json,
     experiment_result_to_json,
@@ -93,7 +94,8 @@ class ExperimentOutcome:
     traceback from the process where the crash occurred.  When the run was
     observed (``run_experiments(..., observe=True)``), ``spans`` and
     ``metrics`` hold the telemetry captured in whichever process executed
-    the experiment.
+    the experiment; with ``counters=True``, ``hw_counters`` holds the
+    hardware-counter snapshot the same way.
     """
 
     experiment_id: str
@@ -105,6 +107,7 @@ class ExperimentOutcome:
     traceback: Optional[str] = None
     spans: list[SpanRecord] = field(default_factory=list)
     metrics: Optional[dict] = None
+    hw_counters: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -208,7 +211,10 @@ class ResultCache:
 
 
 def _execute(
-    experiment_id: str, config: ExperimentConfig, observe: bool = False
+    experiment_id: str,
+    config: ExperimentConfig,
+    observe: bool = False,
+    counters: bool = False,
 ) -> ExperimentOutcome:
     """Run one experiment, capturing failure instead of propagating it.
 
@@ -221,18 +227,23 @@ def _execute(
     snapshot travel back on the outcome and the *parent* merges them in
     experiment-request order (never completion order), so an observed
     parallel run produces the same artifact structure as a serial one.
+    ``counters`` does the same for hardware-counter telemetry — a fresh
+    isolated registry per experiment, snapshot on ``outcome.hw_counters``.
     """
     from repro.experiments import ALL_EXPERIMENTS  # deferred: import cycle
 
     started = time.perf_counter()
     tracer = Tracer() if observe else None
     registry = MetricsRegistry() if observe else None
+    hw = hwc.HardwareCounters() if counters else None
 
     def telemetry(outcome: ExperimentOutcome) -> ExperimentOutcome:
         if tracer is not None:
             outcome.spans = tracer.spans
         if registry is not None:
             outcome.metrics = registry.snapshot()
+        if hw is not None:
+            outcome.hw_counters = hw.snapshot()
         return outcome
 
     try:
@@ -241,6 +252,10 @@ def _execute(
                 stack.enter_context(obs.tracing(tracer))
                 stack.enter_context(obs.metrics_active(registry))
                 stack.enter_context(tracer.span("experiment", id=experiment_id))
+            if counters:
+                # Isolated: the parent merges the returned snapshot in
+                # request order; auto-folding here would double count.
+                stack.enter_context(hwc.counters_active(hw, isolated=True))
             result = ALL_EXPERIMENTS[experiment_id](config)
     except Exception as exc:  # noqa: BLE001 - fault isolation is the point
         failed_unit = exc.unit_index if isinstance(exc, UnitExecutionError) else None
@@ -303,6 +318,7 @@ def run_experiments(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
     observe: bool = False,
+    counters: bool = False,
 ) -> list[ExperimentOutcome]:
     """Run ``ids`` under ``config``; returns one outcome per id, in order.
 
@@ -320,6 +336,14 @@ def run_experiments(
     within an experiment), never in completion order.  Telemetry never
     touches RNG streams or rendered tables: observed output is
     byte-identical to unobserved output at any ``jobs`` count.
+
+    ``counters`` does the same for mote hardware-counter telemetry: each
+    experiment executes under a fresh isolated
+    :class:`~repro.obs.HardwareCounters` registry wherever it runs, the
+    snapshot rides back on ``outcome.hw_counters``, and everything folds
+    into the caller's active registry in request order.  Counter values are
+    seed-determined, so the merged totals are bit-identical at any ``jobs``
+    count.  Cached experiments did not execute and contribute nothing.
 
     Failures never raise: a crashed experiment yields an outcome with
     ``error`` set (including the failing unit index and a truncated
@@ -395,17 +419,19 @@ def run_experiments(
         _notify(progress, ProgressEvent("start", exp_id, completed, total))
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             with unit_executor(pool):
-                finish(_execute(exp_id, config, observe))
+                finish(_execute(exp_id, config, observe, counters))
     elif jobs == 1 or len(pending) <= 1:
         for exp_id in pending:
             _notify(progress, ProgressEvent("start", exp_id, completed, total))
-            finish(_execute(exp_id, config, observe))
+            finish(_execute(exp_id, config, observe, counters))
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {}
             for exp_id in pending:
                 _notify(progress, ProgressEvent("start", exp_id, completed, total))
-                futures[pool.submit(_execute, exp_id, config, observe)] = exp_id
+                futures[
+                    pool.submit(_execute, exp_id, config, observe, counters)
+                ] = exp_id
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
@@ -425,4 +451,13 @@ def run_experiments(
                 tracer.adopt(outcome.spans, experiment=outcome.experiment_id)
             if registry is not None and outcome.metrics:
                 registry.merge_snapshot(outcome.metrics)
+    if counters:
+        # Same request-order rule for hardware counters: integer sums are
+        # commutative, but a fixed order keeps the contract uniform and the
+        # artifact layout reproducible.
+        hw_parent = hwc.active()
+        if hw_parent is not None:
+            for outcome in ordered:
+                if outcome.hw_counters:
+                    hw_parent.merge_snapshot(outcome.hw_counters)
     return ordered

@@ -44,9 +44,12 @@ from repro.experiments.engine import (
 )
 from repro.mote.platform import MICAZ_LIKE, TELOSB_LIKE
 from repro.obs import (
+    HardwareCounters,
     MetricsRegistry,
     Tracer,
     build_manifest,
+    counters_active,
+    format_counters,
     metrics_active,
     tracing,
     write_chrome_trace,
@@ -140,6 +143,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         dest="metrics_path",
         help="write the metrics-registry snapshot (+ run manifest) to PATH",
+    )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="enable mote hardware-counter telemetry; prints the aggregated "
+        "counter table after the experiments (and embeds the snapshot in "
+        "--metrics output). Rendered experiment tables are unaffected.",
     )
     return parser
 
@@ -277,11 +287,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     registry = MetricsRegistry()
     tracer = Tracer() if args.trace_path is not None else None
     observe = args.trace_path is not None or args.metrics_path is not None
+    hw = HardwareCounters() if args.counters else None
     started = time.perf_counter()
     with contextlib.ExitStack() as stack:
         stack.enter_context(metrics_active(registry))
         if tracer is not None:
             stack.enter_context(tracing(tracer))
+        if hw is not None:
+            stack.enter_context(counters_active(hw))
         outcomes = run_experiments(
             ids,
             config,
@@ -289,8 +302,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache=cache,
             progress=_progress_printer if args.progress else None,
             observe=observe,
+            counters=args.counters,
         )
     wall = time.perf_counter() - started
+    hw_snapshot = hw.snapshot() if hw is not None else None
 
     for outcome in outcomes:
         if not outcome.ok:
@@ -335,10 +350,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(report_error, file=sys.stderr)
         if args.metrics_path is not None:
             try:
-                write_metrics(args.metrics_path, registry, manifest)
+                write_metrics(
+                    args.metrics_path,
+                    registry,
+                    manifest,
+                    hardware_counters=hw_snapshot,
+                )
             except OSError as exc:
                 report_error = f"--metrics: could not write {args.metrics_path}: {exc}"
                 print(report_error, file=sys.stderr)
+
+    if hw_snapshot is not None:
+        print(format_counters(hw_snapshot))
+        print()
 
     failures = [o for o in outcomes if not o.ok]
     cached_n = sum(1 for o in outcomes if o.cached)

@@ -18,10 +18,11 @@ from repro.experiments.common import (
     map_units,
     profiled_run,
 )
+from repro.obs import counters as hwc
 from repro.profiling import (
-    edge_instrumentation_overhead,
-    sampling_overhead,
-    timing_overhead,
+    edge_instrumentation_overhead_from_counts,
+    sampling_overhead_from_counts,
+    timing_overhead_from_counts,
 )
 from repro.util.tables import Table
 from repro.workloads.registry import all_workloads, workload_by_name
@@ -35,14 +36,24 @@ def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
     """Price all three profiling schemes on one workload's reference run."""
     spec = workload_by_name(name)
     unit = UnitResult()
-    run_data = profiled_run(spec, config)
-    base_cycles = run_data.result.total_cycles
+    # The dynamic quantities each scheme pays for (edges traversed,
+    # invocations, total cycles) are read off the hardware counters rather
+    # than the simulator's ground-truth bookkeeping: both observers tally
+    # the same integer events, so the priced table is bit-identical.
+    with hwc.counters_active(hwc.HardwareCounters()) as hw:
+        run_data = profiled_run(spec, config)
+    snap = hw.snapshot()
+    base_cycles = hwc.total_cycles(snap)
     reports = [
-        edge_instrumentation_overhead(run_data.program, run_data.result, config.platform),
-        sampling_overhead(
-            run_data.program, run_data.result, config.platform, SAMPLING_INTERVAL_CYCLES
+        edge_instrumentation_overhead_from_counts(
+            run_data.program, hwc.dynamic_edges(snap), config.platform
         ),
-        timing_overhead(run_data.program, run_data.result, config.platform),
+        sampling_overhead_from_counts(
+            run_data.program, base_cycles, config.platform, SAMPLING_INTERVAL_CYCLES
+        ),
+        timing_overhead_from_counts(
+            run_data.program, hwc.invocations_total(snap), config.platform
+        ),
     ]
     for report in reports:
         pct = 100.0 * report.runtime_overhead_fraction(base_cycles)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.ir.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.ir.block import BasicBlock
 from repro.mote.predictor import BTFNPredictor, StaticPredictor
+from repro.obs import counters as hwc
 
 __all__ = ["BranchTiming", "CpuModel"]
 
@@ -58,8 +59,19 @@ class CpuModel:
     # -- straight-line ------------------------------------------------------
 
     def block_cycles(self, block: BasicBlock) -> int:
-        """Deterministic cost of a block's instructions (no terminator)."""
-        return self.cost_model.block_cycles(block)
+        """Deterministic cost of a block's instructions (no terminator).
+
+        This is the *execution* entry point: it reports a flash block fetch
+        to the hardware counters when they are enabled.  Analytic callers
+        that only price a block (the Markov timing model, the sampling-
+        profiler estimator) go through ``cpu.cost_model.block_cycles``
+        directly so predicted work never pollutes the counters.
+        """
+        cycles = self.cost_model.block_cycles(block)
+        hw = hwc.active()
+        if hw is not None:
+            hw.block(cycles)
+        return cycles
 
     # -- control transfer -----------------------------------------------------
 
@@ -78,6 +90,27 @@ class CpuModel:
         ``backward_target`` describes where the taken-target sits in flash,
         which is what a static BTFN scheme keys on.
         """
+        predicted = self.predictor.predict(backward_target=backward_target)
+        cycles = self.branch_base_cycles
+        if taken:
+            cycles += self.taken_extra_cycles
+        if taken != predicted:
+            cycles += self.mispredict_penalty_cycles
+        hw = hwc.active()
+        if hw is not None:
+            hw.branch(
+                taken=taken,
+                predicted_taken=predicted,
+                backward_target=backward_target,
+                cycles=cycles,
+            )
+        return BranchTiming(taken=taken, predicted_taken=predicted, cycles=cycles)
+
+    def branch_cost(self, *, taken: bool, backward_target: bool) -> int:
+        """Cycle cost only, for analytic pricing (never touches counters)."""
+        return self._branch_timing(taken=taken, backward_target=backward_target).cycles
+
+    def _branch_timing(self, *, taken: bool, backward_target: bool) -> BranchTiming:
         predicted = self.predictor.predicts_taken(backward_target=backward_target)
         cycles = self.branch_base_cycles
         if taken:
@@ -85,7 +118,3 @@ class CpuModel:
         if taken != predicted:
             cycles += self.mispredict_penalty_cycles
         return BranchTiming(taken=taken, predicted_taken=predicted, cycles=cycles)
-
-    def branch_cost(self, *, taken: bool, backward_target: bool) -> int:
-        """Cycle cost only, when the caller does not need the full record."""
-        return self.branch_outcome(taken=taken, backward_target=backward_target).cycles

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs import counters as hwc
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> mote)
     from repro.faults.model import FaultInjector
 
@@ -45,14 +47,23 @@ class Radio:
 
     def transmit(self, value: int, cycle: int) -> None:
         """Record one application packet (subject to channel faults, if any)."""
+        hw = hwc.active()
         if self.faults is not None:
             fate = self.faults.radio_outcome()
             if fate == "drop":
                 self.dropped_packets += 1
+                if hw is not None:
+                    hw.radio_tx(fate="dropped", payload_bytes=self.bytes_per_packet)
                 return
             if fate == "corrupt":
                 value = self.faults.corrupt_payload(int(value))
                 self.corrupted_packets += 1
+                if hw is not None:
+                    hw.radio_tx(fate="corrupted", payload_bytes=self.bytes_per_packet)
+                self.packets.append(Packet(value=int(value), cycle=int(cycle)))
+                return
+        if hw is not None:
+            hw.radio_tx(fate="delivered", payload_bytes=self.bytes_per_packet)
         self.packets.append(Packet(value=int(value), cycle=int(cycle)))
 
     @property

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import MoteError
+from repro.obs import counters as hwc
 
 __all__ = ["Task", "Scheduler"]
 
@@ -46,6 +47,9 @@ class Scheduler:
         if task.period_cycles is not None and task.period_cycles <= 0:
             raise MoteError(f"period_cycles must be positive, got {task.period_cycles}")
         heapq.heappush(self._queue, (self.now_cycles + delay_cycles, next(self._tie), task))
+        hw = hwc.active()
+        if hw is not None:
+            hw.sched_post()
 
     def step(self) -> bool:
         """Run the next task; False when the queue is empty.
@@ -58,6 +62,9 @@ class Scheduler:
             return False
         when, _, task = heapq.heappop(self._queue)
         self.now_cycles = max(self.now_cycles, when)
+        hw = hwc.active()
+        if hw is not None:
+            hw.sched_switch()
         task.action(self.now_cycles)
         self.activations += 1
         if task.period_cycles is not None:

@@ -26,6 +26,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from repro.errors import MoteError
+from repro.obs import counters as hwc
 from repro.util.rng import RngSource, as_rng
 
 __all__ = [
@@ -235,8 +236,13 @@ class SensorSuite:
             raise MoteError(f"unknown sensor channel {channel!r}; known: {known}") from None
         self.read_count += 1
         value = sensor.read(self._rng)
+        hw = hwc.active()
+        if hw is not None:
+            hw.sensor_read()
         if self.faults is not None and self.faults.sensor_faulted():
             self.dropout_count += 1
+            if hw is not None:
+                hw.sensor_dropout()
             return self.faults.stuck_reading()
         return value
 

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import MoteError
+from repro.obs import counters as hwc
 from repro.util.rng import RngSource, as_rng
 
 __all__ = ["TimestampTimer"]
@@ -94,7 +95,14 @@ class TimestampTimer:
         gen = as_rng(rng)
         start_tick = self.tick_at(start_cycle, gen)
         end_tick = self.tick_at(end_cycle, gen)
-        return float((end_tick - start_tick) * self.cycles_per_tick)
+        measured = float((end_tick - start_tick) * self.cycles_per_tick)
+        hw = hwc.active()
+        if hw is not None:
+            hw.timer_measure(
+                ticks=end_tick - start_tick,
+                quantization_error_cycles=abs(measured - (end_cycle - start_cycle)),
+            )
+        return measured
 
     @property
     def resolution_cycles(self) -> int:

@@ -12,7 +12,25 @@ work — so rendered experiment output is byte-identical with telemetry on,
 off, serial, or parallel.  See ``docs/ARCHITECTURE.md`` ("Observability").
 """
 
-from repro.obs.manifest import SEED_SCHEME, build_manifest
+from repro.errors import ObsError
+from repro.obs.counters import (
+    HardwareCounters,
+    counters_active,
+    current_counters,
+    diff_snapshots,
+    empty_snapshot,
+    format_counters,
+    merge_snapshots,
+)
+from repro.obs.bench_history import (
+    BENCH_SCHEMA,
+    append_record,
+    bench_path,
+    build_record,
+    check_history,
+    load_history,
+)
+from repro.obs.manifest import SEED_SCHEME, build_manifest, host_facts
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -40,14 +58,32 @@ from repro.obs.trace import (
 from repro.obs.validate import (
     ArtifactError,
     require_span_coverage,
+    validate_bench_file,
     validate_chrome_trace,
+    validate_counter_snapshot,
+    validate_hw_counters_file,
     validate_metrics_file,
     validate_trace_jsonl,
 )
 
 __all__ = [
+    "ObsError",
+    "HardwareCounters",
+    "counters_active",
+    "current_counters",
+    "diff_snapshots",
+    "empty_snapshot",
+    "format_counters",
+    "merge_snapshots",
+    "BENCH_SCHEMA",
+    "append_record",
+    "bench_path",
+    "build_record",
+    "check_history",
+    "load_history",
     "SEED_SCHEME",
     "build_manifest",
+    "host_facts",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",
@@ -70,7 +106,10 @@ __all__ = [
     "write_jsonl",
     "ArtifactError",
     "require_span_coverage",
+    "validate_bench_file",
     "validate_chrome_trace",
+    "validate_counter_snapshot",
+    "validate_hw_counters_file",
     "validate_metrics_file",
     "validate_trace_jsonl",
 ]

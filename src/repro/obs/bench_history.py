@@ -1,0 +1,268 @@
+"""Benchmark history: every benchmark run becomes a point on a trajectory.
+
+The ROADMAP's "as fast as the hardware allows" goal needs a measurement
+backbone: a durable, append-only record of what the benchmark suite
+measured, on which commit, on which host — plus the hardware-counter
+deltas each benchmark produced, which are *seed-determined* and therefore
+a bit-exact determinism oracle that shared CI runners cannot blur the way
+they blur wall-clock.
+
+File layout: ``BENCH_<date>.json`` (one file per calendar day, records
+append within it) under a history directory — ``benchmarks/history/`` by
+convention.  Each record carries:
+
+* ``created_utc`` and ``git_sha`` — when and what code;
+* ``host`` — the :func:`repro.obs.manifest.host_facts` block, so
+  trajectories can be segmented by machine;
+* ``benchmarks`` — per-benchmark wall-clock stats distilled from
+  pytest-benchmark's JSON export (``--benchmark-json``);
+* ``counters`` — per-benchmark hardware-counter snapshots (see
+  :mod:`repro.obs.counters`), when the run captured them.
+
+:func:`check_history` is the regression gate: the newest record's
+wall-clock is compared against the trailing median of prior records
+(>20% slower fails), and its counter snapshots must be bit-identical to
+the most recent prior record at the same git sha (any drift fails —
+counters are deterministic at fixed seed, so a mismatch means the run
+was not reproducible).  CI runs the counter gate only
+(``wallclock=False``): shared runners make time noisy, but determinism
+is binary everywhere.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.errors import ObsError
+from repro.obs.counters import SNAPSHOT_SCHEMA
+from repro.obs.manifest import host_facts
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_MAX_REGRESSION",
+    "bench_path",
+    "build_record",
+    "append_record",
+    "load_history",
+    "check_history",
+    "distill_pytest_benchmark",
+]
+
+#: Schema tag on every history file (bumped on layout changes).
+BENCH_SCHEMA = "repro.bench-history/1"
+
+#: Wall-clock gate: newest median may exceed the trailing median by this
+#: fraction before the check fails.
+DEFAULT_MAX_REGRESSION = 0.20
+
+#: The wall-clock stats kept per benchmark (subset of pytest-benchmark's).
+_STAT_KEYS = ("min", "max", "mean", "median", "stddev", "rounds")
+
+
+def bench_path(directory: Union[str, Path], date: Optional[str] = None) -> Path:
+    """The history file for ``date`` (ISO ``YYYY-MM-DD``; default today)."""
+    if date is None:
+        date = datetime.date.today().isoformat()
+    try:
+        datetime.date.fromisoformat(date)
+    except ValueError as exc:
+        raise ObsError(f"bench date must be ISO YYYY-MM-DD, got {date!r}") from exc
+    return Path(directory) / f"BENCH_{date}.json"
+
+
+def distill_pytest_benchmark(payload: Mapping) -> dict:
+    """Per-benchmark wall-clock stats from a pytest-benchmark JSON export.
+
+    Keeps name → {min, max, mean, median, stddev, rounds}; everything else
+    in the export (machine_info, commit_info, per-round data) is either
+    redundant with the record's own fields or too bulky for an append-only
+    log.
+    """
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ObsError("pytest-benchmark payload has no 'benchmarks' list")
+    distilled = {}
+    for bench in benchmarks:
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        if not name or not stats:
+            raise ObsError(f"malformed benchmark entry: {bench.get('name')!r}")
+        distilled[name] = {key: stats[key] for key in _STAT_KEYS if key in stats}
+    return distilled
+
+
+def build_record(
+    benchmark_payload: Optional[Mapping] = None,
+    counter_snapshots: Optional[Mapping[str, Mapping]] = None,
+    git_sha: str = "unknown",
+    created_utc: Optional[str] = None,
+) -> dict:
+    """Assemble one history record (pure; nothing touches disk here)."""
+    if benchmark_payload is None and not counter_snapshots:
+        raise ObsError(
+            "a bench record needs benchmark stats, counter snapshots, or both"
+        )
+    counters = {}
+    for name, snap in (counter_snapshots or {}).items():
+        if snap.get("schema") != SNAPSHOT_SCHEMA:
+            raise ObsError(
+                f"counter snapshot for {name!r} has schema "
+                f"{snap.get('schema')!r}, expected {SNAPSHOT_SCHEMA!r}"
+            )
+        counters[name] = {
+            "schema": snap["schema"],
+            "totals": dict(snap.get("totals", {})),
+            "per_proc": {p: dict(r) for p, r in snap.get("per_proc", {}).items()},
+        }
+    return {
+        "created_utc": created_utc
+        or datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "git_sha": git_sha,
+        "host": host_facts(),
+        "benchmarks": (
+            distill_pytest_benchmark(benchmark_payload)
+            if benchmark_payload is not None
+            else {}
+        ),
+        "counters": counters,
+    }
+
+
+def _load_file(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObsError(f"cannot read bench history {path}: {exc}") from exc
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ObsError(
+            f"{path}: bench-history schema mismatch: expected "
+            f"{BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("records"), list):
+        raise ObsError(f"{path}: bench history has no 'records' list")
+    return payload
+
+
+def append_record(path: Union[str, Path], record: Mapping) -> Path:
+    """Append ``record`` to the history file at ``path`` (created if absent).
+
+    Append-only by construction: existing records are re-serialized
+    untouched, never rewritten or pruned.
+    """
+    path = Path(path)
+    if path.exists():
+        payload = _load_file(path)
+    else:
+        payload = {"schema": BENCH_SCHEMA, "records": []}
+    payload["records"].append(dict(record))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(directory: Union[str, Path]) -> list[dict]:
+    """Every record under ``directory``'s ``BENCH_*.json``, oldest first.
+
+    Ordered by file date then within-file position, so "trailing" always
+    means "chronologically before the newest".
+    """
+    records: list[dict] = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        records.extend(_load_file(path)["records"])
+    return records
+
+
+def _trailing_median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_history(
+    records: Sequence[Mapping],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    wallclock: bool = True,
+    counters: bool = True,
+) -> list[str]:
+    """Gate the newest record against the trail; returns failure messages.
+
+    * **Wall-clock** (``wallclock=True``): for each benchmark in the newest
+      record, its median runtime must not exceed the median of that
+      benchmark's prior medians by more than ``max_regression``.  Prior
+      records from other host machines are skipped — cross-machine time
+      comparisons are noise.  A benchmark with no prior points passes (a
+      trajectory has to start somewhere).
+    * **Counter determinism** (``counters=True``): hardware counters are
+      seed-determined, so at a fixed git sha every run must produce
+      bit-identical snapshots.  The newest record's snapshots are compared
+      against the most recent prior record with the same ``git_sha``; any
+      difference in any shared benchmark is a failure.
+
+    An empty or single-record history passes vacuously.
+    """
+    failures: list[str] = []
+    if len(records) < 2:
+        return failures
+    newest = records[-1]
+    trail = records[:-1]
+
+    if wallclock:
+        machine = newest.get("host", {}).get("machine")
+        for name, stats in newest.get("benchmarks", {}).items():
+            current = stats.get("median")
+            if current is None:
+                continue
+            prior = [
+                r["benchmarks"][name]["median"]
+                for r in trail
+                if name in r.get("benchmarks", {})
+                and "median" in r["benchmarks"][name]
+                and r.get("host", {}).get("machine") == machine
+            ]
+            if not prior:
+                continue
+            baseline = _trailing_median(prior)
+            if baseline > 0 and current > baseline * (1.0 + max_regression):
+                failures.append(
+                    f"wall-clock regression: {name} median {current:.6f}s is "
+                    f"{current / baseline - 1.0:+.1%} vs trailing median "
+                    f"{baseline:.6f}s (limit +{max_regression:.0%})"
+                )
+
+    if counters:
+        sha = newest.get("git_sha")
+        reference = next(
+            (r for r in reversed(trail) if r.get("git_sha") == sha), None
+        )
+        if reference is not None:
+            for name, snap in newest.get("counters", {}).items():
+                ref_snap = reference.get("counters", {}).get(name)
+                if ref_snap is None:
+                    continue
+                if snap != ref_snap:
+                    drifted = _describe_drift(ref_snap, snap)
+                    failures.append(
+                        f"counter drift: {name} at git sha {sha} is not "
+                        f"bit-identical to the prior run ({drifted}); "
+                        "counters must be deterministic at a fixed seed"
+                    )
+    return failures
+
+
+def _describe_drift(ref: Mapping, new: Mapping) -> str:
+    """Name the first few counters whose values moved (for the failure text)."""
+    moved = []
+    ref_totals = ref.get("totals", {})
+    new_totals = new.get("totals", {})
+    for key in sorted(ref_totals.keys() | new_totals.keys()):
+        a, b = ref_totals.get(key), new_totals.get(key)
+        if a != b:
+            moved.append(f"{key}: {a} -> {b}")
+        if len(moved) >= 3:
+            break
+    return "; ".join(moved) if moved else "per-procedure attribution differs"

@@ -24,7 +24,7 @@ import repro
 if TYPE_CHECKING:  # import cycle: engine imports obs for instrumentation
     from repro.experiments.engine import ExperimentOutcome
 
-__all__ = ["MANIFEST_SCHEMA_VERSION", "SEED_SCHEME", "build_manifest"]
+__all__ = ["MANIFEST_SCHEMA_VERSION", "SEED_SCHEME", "build_manifest", "host_facts"]
 
 MANIFEST_SCHEMA_VERSION = 1
 
@@ -34,6 +34,23 @@ SEED_SCHEME = (
     "numpy SeedSequence: positional spawn for batch streams, "
     "SHA-256-labelled spawn_key derivation for named streams (repro.util.rng)"
 )
+
+
+def host_facts() -> dict:
+    """The host identity block shared by manifests and benchmark history.
+
+    Everything here is plain JSON; benchmark records
+    (:mod:`repro.obs.bench_history`) embed the same block so a perf
+    trajectory can be segmented by machine.
+    """
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform_mod.python_implementation(),
+        "platform": platform_mod.platform(),
+        "machine": platform_mod.machine(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
 
 
 def build_manifest(
@@ -65,14 +82,7 @@ def build_manifest(
             exp_id: {"fingerprint": config_fingerprint(exp_id, config)}
             for exp_id in experiment_ids
         },
-        "host": {
-            "python": sys.version.split()[0],
-            "implementation": platform_mod.python_implementation(),
-            "platform": platform_mod.platform(),
-            "machine": platform_mod.machine(),
-            "cpu_count": os.cpu_count(),
-            "pid": os.getpid(),
-        },
+        "host": host_facts(),
     }
     if outcomes is not None:
         for outcome in outcomes:
@@ -86,4 +96,11 @@ def build_manifest(
                     "error": outcome.error,
                 }
             )
+            hw = getattr(outcome, "hw_counters", None)
+            if hw:
+                # Rollup only — the full snapshot lives in the metrics
+                # artifact; the manifest carries enough to triage.
+                entry["hw_counter_events"] = sum(
+                    v for v in hw.get("totals", {}).values() if isinstance(v, int)
+                )
     return manifest

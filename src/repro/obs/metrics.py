@@ -28,6 +28,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
+from repro.errors import ObsError
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
@@ -150,18 +152,29 @@ class MetricsRegistry:
         """Fold a worker's snapshot in: counters/histograms add, gauges win.
 
         Histogram bucket layouts must match (they do, by the fixed-bucket
-        rule); a mismatched layout raises rather than silently misbinning.
+        rule); a mismatched layout raises :class:`~repro.errors.ObsError`
+        rather than silently misbinning.  The counts vector is checked
+        against the bounds *before* any bucket is touched, so a malformed
+        snapshot can never leave this registry partially merged.
         """
         for name, value in snap.get("counters", {}).items():
             self.counter(name).value += value
         for name, value in snap.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, data in snap.get("histograms", {}).items():
-            hist = self.histogram(name, data["bounds"])
-            if list(hist.bounds) != list(data["bounds"]):
-                raise ValueError(
+            bounds = [float(b) for b in data["bounds"]]
+            if len(data["counts"]) != len(bounds) + 1:
+                raise ObsError(
+                    f"histogram {name!r}: snapshot carries {len(data['counts'])} "
+                    f"buckets for {len(bounds)} bounds (want {len(bounds) + 1}); "
+                    "refusing a misaligned merge"
+                )
+            hist = self.histogram(name, bounds)
+            if list(hist.bounds) != bounds:
+                raise ObsError(
                     f"histogram {name!r}: bucket bounds differ between processes "
-                    f"({list(hist.bounds)} vs {data['bounds']})"
+                    f"({list(hist.bounds)} vs {bounds}); merging would misbin "
+                    "every observation"
                 )
             for i, count in enumerate(data["counts"]):
                 hist.counts[i] += count
@@ -222,11 +235,19 @@ def write_metrics(
     path: Union[str, Path],
     registry: MetricsRegistry,
     manifest: Optional[dict] = None,
+    hardware_counters: Optional[dict] = None,
 ) -> Path:
-    """Write the registry snapshot (plus an optional run manifest) as JSON."""
+    """Write the registry snapshot (plus an optional run manifest) as JSON.
+
+    ``hardware_counters`` — a snapshot from
+    :meth:`repro.obs.counters.HardwareCounters.snapshot` — rides along under
+    its own key when the run captured mote-level counters.
+    """
     path = Path(path)
     payload: dict = {"metrics": registry.snapshot()}
     if manifest is not None:
         payload["manifest"] = manifest
+    if hardware_counters is not None:
+        payload["hardware_counters"] = hardware_counters
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

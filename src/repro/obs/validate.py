@@ -19,11 +19,17 @@ import json
 from pathlib import Path
 from typing import Union
 
+from repro.obs.bench_history import BENCH_SCHEMA
+from repro.obs.counters import SNAPSHOT_SCHEMA
+
 __all__ = [
     "ArtifactError",
     "validate_trace_jsonl",
     "validate_chrome_trace",
     "validate_metrics_file",
+    "validate_counter_snapshot",
+    "validate_hw_counters_file",
+    "validate_bench_file",
     "require_span_coverage",
 ]
 
@@ -166,11 +172,111 @@ def validate_metrics_file(path: Union[str, Path]) -> dict:
         manifest = payload["manifest"]
         for key in ("schema_version", "repro_version", "seed_scheme", "config", "host"):
             _need(manifest, key, object, f"{path.name}: manifest")
+    if "hardware_counters" in payload:
+        validate_counter_snapshot(
+            payload["hardware_counters"], f"{path.name}: hardware_counters"
+        )
     return {
         "counters": len(counters),
         "histograms": len(histograms),
         "has_manifest": "manifest" in payload,
+        "has_hw_counters": "hardware_counters" in payload,
     }
+
+
+def validate_counter_snapshot(snap, where: str) -> dict:
+    """Validate one hardware-counter snapshot (see ``repro.obs.counters``).
+
+    Shape: ``{"schema": ..., "totals": {name: int>=0},
+    "per_proc": {proc: {field: int>=0}}}``.  Returns a tiny summary.
+    """
+    if not isinstance(snap, dict):
+        raise ArtifactError(f"{where}: snapshot must be an object")
+    schema = _need(snap, "schema", str, where)
+    if schema != SNAPSHOT_SCHEMA:
+        raise ArtifactError(
+            f"{where}: schema {schema!r}, expected {SNAPSHOT_SCHEMA!r}"
+        )
+    def _non_negative_number(value) -> bool:
+        # Most counters are ints; energy (µJ) and the timer's quantization
+        # error accumulate as floats.  bool is an int subclass — reject it.
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value >= 0
+        )
+
+    totals = _need(snap, "totals", dict, where)
+    for name, value in totals.items():
+        if not _non_negative_number(value):
+            raise ArtifactError(
+                f"{where}: counter {name!r} must be a non-negative number, "
+                f"got {value!r}"
+            )
+    per_proc = _need(snap, "per_proc", dict, where)
+    for proc, row in per_proc.items():
+        if not isinstance(row, dict):
+            raise ArtifactError(f"{where}: per_proc[{proc!r}] must be an object")
+        for field, value in row.items():
+            if not _non_negative_number(value):
+                raise ArtifactError(
+                    f"{where}: per_proc[{proc!r}].{field} must be a "
+                    f"non-negative number, got {value!r}"
+                )
+    return {"counters": len(totals), "procs": len(per_proc)}
+
+
+def validate_hw_counters_file(path: Union[str, Path]) -> dict:
+    """Validate a standalone counter-snapshot JSON file."""
+    path = Path(path)
+    try:
+        snap = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path.name}: not valid JSON: {exc}") from exc
+    return validate_counter_snapshot(snap, path.name)
+
+
+def validate_bench_file(path: Union[str, Path]) -> dict:
+    """Validate a ``BENCH_<date>.json`` history file (``bench_track`` output)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path.name}: not valid JSON: {exc}") from exc
+    schema = _need(payload, "schema", str, path.name)
+    if schema != BENCH_SCHEMA:
+        raise ArtifactError(
+            f"{path.name}: schema {schema!r}, expected {BENCH_SCHEMA!r}"
+        )
+    records = _need(payload, "records", list, path.name)
+    if not records:
+        raise ArtifactError(f"{path.name}: history contains no records")
+    benchmarks = 0
+    snapshots = 0
+    for i, record in enumerate(records):
+        where = f"{path.name}: records[{i}]"
+        if not isinstance(record, dict):
+            raise ArtifactError(f"{where}: record must be an object")
+        _need(record, "created_utc", str, where)
+        _need(record, "git_sha", str, where)
+        _need(record, "host", dict, where)
+        benches = _need(record, "benchmarks", dict, where)
+        for name, stats in benches.items():
+            stat_where = f"{where}: benchmark {name!r}"
+            if not isinstance(stats, dict):
+                raise ArtifactError(f"{stat_where}: stats must be an object")
+            for key, value in stats.items():
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ArtifactError(
+                        f"{stat_where}: stat {key!r} must be a non-negative "
+                        f"number, got {value!r}"
+                    )
+        counters = _need(record, "counters", dict, where)
+        for name, snap in counters.items():
+            validate_counter_snapshot(snap, f"{where}: counters[{name!r}]")
+        benchmarks += len(benches)
+        snapshots += len(counters)
+    return {"records": len(records), "benchmarks": benchmarks, "snapshots": snapshots}
 
 
 def require_span_coverage(names: set[str]) -> dict:

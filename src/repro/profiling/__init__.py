@@ -23,8 +23,11 @@ from repro.profiling.sampling_profiler import SamplingProfile, SamplingProfiler
 from repro.profiling.overhead import (
     OverheadReport,
     edge_instrumentation_overhead,
+    edge_instrumentation_overhead_from_counts,
     sampling_overhead,
+    sampling_overhead_from_counts,
     timing_overhead,
+    timing_overhead_from_counts,
 )
 from repro.profiling.budget import HookPlan, apply_plan, plan_hooks
 from repro.profiling.serialize import (
@@ -47,8 +50,11 @@ __all__ = [
     "SamplingProfiler",
     "OverheadReport",
     "edge_instrumentation_overhead",
+    "edge_instrumentation_overhead_from_counts",
     "sampling_overhead",
+    "sampling_overhead_from_counts",
     "timing_overhead",
+    "timing_overhead_from_counts",
     "HookPlan",
     "plan_hooks",
     "apply_plan",

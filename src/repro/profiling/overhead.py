@@ -28,8 +28,11 @@ from repro.sim.trace import ExecutionCounters, RunResult
 __all__ = [
     "OverheadReport",
     "edge_instrumentation_overhead",
+    "edge_instrumentation_overhead_from_counts",
     "timing_overhead",
+    "timing_overhead_from_counts",
     "sampling_overhead",
+    "sampling_overhead_from_counts",
 ]
 
 # Edge instrumentation: a 32-bit RAM counter increment on an 8-bit MCU is
@@ -86,8 +89,22 @@ def edge_instrumentation_overhead(
     program: Program, result: RunResult, platform: Platform
 ) -> OverheadReport:
     """Cost of the full edge-instrumentation build on ``result``'s run."""
+    return edge_instrumentation_overhead_from_counts(
+        program, sum(result.counters.edge_counts.values()), platform
+    )
+
+
+def edge_instrumentation_overhead_from_counts(
+    program: Program, dynamic_edges: int, platform: Platform
+) -> OverheadReport:
+    """Same pricing from a bare dynamic-edge count.
+
+    The count can come from any observer that saw the run — the simulator's
+    ground-truth counters or the hardware-counter telemetry
+    (``repro.obs.counters.dynamic_edges``); both tally one event per CFG
+    edge traversed, so the reports are identical.
+    """
     static_edges = sum(len(p.cfg.edges()) for p in program)
-    dynamic_edges = sum(result.counters.edge_counts.values())
     rom = static_edges * EDGE_SITE_ROM_BYTES
     ram = static_edges * EDGE_COUNTER_RAM_BYTES
     cycles = float(dynamic_edges * EDGE_INCREMENT_CYCLES)
@@ -107,8 +124,16 @@ def timing_overhead(
     program: Program, result: RunResult, platform: Platform
 ) -> OverheadReport:
     """Cost of the Code Tomography collector on ``result``'s run."""
+    return timing_overhead_from_counts(
+        program, sum(result.counters.invocations.values()), platform
+    )
+
+
+def timing_overhead_from_counts(
+    program: Program, invocations: int, platform: Platform
+) -> OverheadReport:
+    """Same pricing from a bare invocation count (any observer's tally)."""
     procedures = len(program.procedures)
-    invocations = sum(result.counters.invocations.values())
     rom = TIMING_ROM_BYTES + procedures * TIMING_ROM_BYTES_PER_PROC
     ram = procedures * TIMING_RAM_BYTES_PER_PROC
     cycles = float(invocations * (2 * TIMESTAMP_READ_CYCLES + MOMENT_UPDATE_CYCLES))
@@ -131,10 +156,22 @@ def sampling_overhead(
     interval_cycles: int,
 ) -> OverheadReport:
     """Cost of PC sampling at ``interval_cycles`` on ``result``'s run."""
+    return sampling_overhead_from_counts(
+        program, result.total_cycles, platform, interval_cycles
+    )
+
+
+def sampling_overhead_from_counts(
+    program: Program,
+    total_cycles: int,
+    platform: Platform,
+    interval_cycles: int,
+) -> OverheadReport:
+    """Same pricing from a bare total-cycle count (any observer's tally)."""
     if interval_cycles < 1:
         raise ProfilingError(f"interval_cycles must be >= 1, got {interval_cycles}")
     blocks = sum(p.block_count() for p in program)
-    samples = result.total_cycles // interval_cycles
+    samples = total_cycles // interval_cycles
     rom = SAMPLING_ROM_BYTES
     ram = blocks * SAMPLE_COUNTER_RAM_BYTES
     cycles = float(samples * SAMPLE_ISR_CYCLES)

@@ -78,7 +78,9 @@ class SamplingProfiler:
                 if visits == 0:
                     continue
                 keys.append((proc.name, block.label))
-                occupancy.append(visits * max(cpu.block_cycles(block), 1))
+                # Analytic pricing (cost model direct): estimating occupancy
+                # must not register flash fetches on the hardware counters.
+                occupancy.append(visits * max(cpu.cost_model.block_cycles(block), 1))
         profile = SamplingProfile()
         n_samples = int(total_cycles // self.interval_cycles)
         profile.samples_taken = n_samples
@@ -97,7 +99,7 @@ class SamplingProfiler:
         for proc in self.program:
             for block in proc.cfg:
                 key = (proc.name, block.label)
-                cost = max(cpu.block_cycles(block), 1)
+                cost = max(cpu.cost_model.block_cycles(block), 1)
                 est_visits[key] = profile.block_samples.get(key, 0) / cost
 
         for proc in self.program:

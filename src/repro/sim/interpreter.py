@@ -29,6 +29,7 @@ from repro.ir.program import Program
 from repro.mote.platform import Platform
 from repro.mote.radio import Radio
 from repro.mote.sensors import SensorSuite
+from repro.obs import counters as hwc
 from repro.placement.layout import ProgramLayout
 from repro.sim.trace import ExecutionCounters, InvocationRecord
 
@@ -231,47 +232,65 @@ class Interpreter:
         entry_cycle = self.cycle
         path: Optional[list[str]] = [] if self.record_paths else None
 
-        label = proc.cfg.entry
-        return_value = 0
-        for _ in range(self.max_steps):
-            block = proc.cfg.block(label)
-            self.counters.record_block(proc_name, label)
-            if path is not None:
-                path.append(label)
-            self.cycle += cpu.block_cycles(block)
-            for instr in block.instructions:
-                self._execute_instruction(instr, frame, depth)
+        # Hardware counters: bracket the invocation so cycle/branch events
+        # attribute to this procedure (exclusive counts; nested calls open
+        # their own scope).  ``hw is None`` is the disabled fast path.
+        hw = hwc.active()
+        if hw is not None:
+            hw.push_proc(proc_name)
+        try:
+            label = proc.cfg.entry
+            return_value = 0
+            for _ in range(self.max_steps):
+                block = proc.cfg.block(label)
+                self.counters.record_block(proc_name, label)
+                if path is not None:
+                    path.append(label)
+                self.cycle += cpu.block_cycles(block)
+                for instr in block.instructions:
+                    self._execute_instruction(instr, frame, depth)
 
-            term = block.terminator
-            if isinstance(term, Return):
-                self.cycle += cpu.return_cost()
-                if term.value is not None:
-                    return_value = self._read(frame, term.value)
-                break
-            if isinstance(term, Jump):
-                self.cycle += cpu.jump_cost(fallthrough=layout.jump_is_elided(label))
-                self.counters.record_edge(proc_name, label, "jump")
-                label = term.target
-                continue
-            assert isinstance(term, Branch)
-            arm = "then" if self._read(frame, term.cond) != 0 else "else"
-            site = resolved[label]
-            timing = cpu.branch_outcome(
-                taken=site.arm_taken(arm),
-                backward_target=site.backward_taken_target,
-            )
-            self.cycle += timing.cycles
-            if arm == site.extra_jump_arm:
-                self.cycle += cpu.jump_cycles
-            self.counters.record_edge(proc_name, label, arm)
-            self.counters.record_branch(
-                proc_name, label, taken=timing.taken, mispredicted=timing.mispredicted
-            )
-            label = term.then_target if arm == "then" else term.else_target
-        else:
-            raise SimulationError(
-                f"{proc_name!r} exceeded {self.max_steps} blocks in one invocation"
-            )
+                term = block.terminator
+                if isinstance(term, Return):
+                    cost = cpu.return_cost()
+                    self.cycle += cost
+                    if hw is not None:
+                        hw.ret(cost)
+                    if term.value is not None:
+                        return_value = self._read(frame, term.value)
+                    break
+                if isinstance(term, Jump):
+                    cost = cpu.jump_cost(fallthrough=layout.jump_is_elided(label))
+                    self.cycle += cost
+                    if hw is not None:
+                        hw.jump(cost)
+                    self.counters.record_edge(proc_name, label, "jump")
+                    label = term.target
+                    continue
+                assert isinstance(term, Branch)
+                arm = "then" if self._read(frame, term.cond) != 0 else "else"
+                site = resolved[label]
+                timing = cpu.branch_outcome(
+                    taken=site.arm_taken(arm),
+                    backward_target=site.backward_taken_target,
+                )
+                self.cycle += timing.cycles
+                if arm == site.extra_jump_arm:
+                    self.cycle += cpu.jump_cycles
+                    if hw is not None:
+                        hw.extra_jump(cpu.jump_cycles)
+                self.counters.record_edge(proc_name, label, arm)
+                self.counters.record_branch(
+                    proc_name, label, taken=timing.taken, mispredicted=timing.mispredicted
+                )
+                label = term.then_target if arm == "then" else term.else_target
+            else:
+                raise SimulationError(
+                    f"{proc_name!r} exceeded {self.max_steps} blocks in one invocation"
+                )
+        finally:
+            if hw is not None:
+                hw.pop_proc()
 
         self.counters.invocations[proc_name] += 1
         self.records.append(

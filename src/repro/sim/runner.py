@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import counters as hwc
 from repro.faults.model import FaultInjector, FaultModel
 from repro.mote.platform import Platform
 from repro.mote.sensors import SensorSuite
@@ -103,6 +104,12 @@ def run_program(
         # Lost packets still radiate: energy charges attempts, not deliveries.
         packets=interp.radio.transmissions,
     )
+    hw = hwc.active()
+    if hw is not None and interp.radio.transmissions:
+        # The radio counted attempts as they happened; the energy price is a
+        # platform property, applied once per run (linear in attempts, so
+        # per-run pricing sums to the same total as pricing the merge).
+        hw.radio_energy(platform.energy.radio_mj(interp.radio.transmissions) * 1000.0)
     return RunResult(
         program_name=program.name,
         activations=activations,

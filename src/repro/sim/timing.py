@@ -88,7 +88,9 @@ class ProcedureTimingModel:
         # Pass 1: block states with their rewards.
         for label in par.states:
             block = cfg.block(label)
-            det = float(cpu.block_cycles(block))
+            # Analytic pricing, not execution: go through the cost model
+            # directly so the hardware counters never see predicted work.
+            det = float(cpu.cost_model.block_cycles(block))
             m_extra = v_extra = t_extra = 0.0
             for callee in block.calls():
                 try:

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import UnitExecutionError
+from repro.errors import ObsError, UnitExecutionError
 from repro.obs import (
     DEFAULT_BUCKETS,
     ArtifactError,
@@ -238,8 +238,24 @@ class TestMetrics:
         a, b = MetricsRegistry(), MetricsRegistry()
         a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
         b.histogram("h", bounds=(1.0, 3.0)).observe(0.5)
-        with pytest.raises(ValueError, match="bucket bounds differ"):
+        with pytest.raises(ObsError, match="bucket bounds differ"):
             a.merge_snapshot(b.snapshot())
+
+    def test_merge_rejects_misaligned_counts_vector_before_mutating(self):
+        # A snapshot whose counts vector disagrees with its own bounds used
+        # to partially merge (buckets added up to the mismatch point); it
+        # must now fail loudly *before* touching the target registry.
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        before = a.snapshot()
+        bad = {
+            "histograms": {
+                "h": {"bounds": [1.0, 2.0], "counts": [4, 4], "sum": 8.0, "count": 8}
+            }
+        }
+        with pytest.raises(ObsError, match="misaligned"):
+            a.merge_snapshot(bad)
+        assert a.snapshot() == before
 
     def test_module_helpers_are_noops_when_off(self):
         assert current_registry() is None
