@@ -1,0 +1,26 @@
+"""F9 — regenerate the samples-to-convergence table."""
+
+from __future__ import annotations
+
+from repro.experiments import fig_f9_convergence
+
+
+def test_f9_convergence(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f9_convergence.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    assert list(series["workload"]) == list(fig_f9_convergence.WORKLOADS)
+    for i, wl in enumerate(series["workload"]):
+        # The policy must actually have called a stop: either the CI
+        # criterion fired (and then the half-width must honor epsilon), or
+        # the budget ran the pool dry.
+        assert series["shards"][i] > 0, wl
+        assert series["samples"][i] > 0, wl
+        if series["converged"][i]:
+            assert series["max_half_width"][i] < fig_f9_convergence.EPSILON, wl
+    if not experiment_config.quick:
+        # Full-size pools are big enough that every workload converges
+        # before exhausting its budget (the headline of the figure).
+        assert all(series["converged"]), series["converged"]

@@ -1,0 +1,115 @@
+"""Streaming estimation versus per-size cold refits.
+
+The claim the streaming estimator exists to make: sweeping the F2 sample
+budgets as **one warm-started trajectory** is several times cheaper than
+re-fitting cold at every size (the pre-streaming F2 unit: subsample +
+moments tomography per budget) while ending at least as accurate.  This
+benchmark measures both sweeps on the same pools and asserts the ratio, so
+the speedup is tracked in the perf history rather than taken on faith.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.metrics import program_estimation_error
+from repro.core.online import OnlineEstimator, OnlineOptions, dataset_shards
+from repro.experiments.common import (
+    ExperimentConfig,
+    ProfiledRun,
+    profiled_run,
+    tomography_thetas,
+)
+from repro.experiments.fig_f2_samples import SAMPLE_COUNTS, WORKLOADS
+from repro.workloads.registry import workload_by_name
+
+#: Streaming must beat the cold sweep by at least this wall-clock factor
+#: at full size (quick pools are too small for a stable ratio: just >1x).
+MIN_SPEEDUP = 3.0
+
+#: ... while landing within 5% of the cold sweep's final MAE (an absolute
+#: floor keeps the relative check meaningful near zero error).
+MAE_HEADROOM = 1.05
+MAE_FLOOR = 5e-3
+
+
+def _pools(config) -> dict[str, tuple[tuple[int, ...], ProfiledRun]]:
+    counts = SAMPLE_COUNTS[:4] if config.quick else SAMPLE_COUNTS
+    base = ExperimentConfig(
+        platform=config.platform,
+        activations=max(counts),
+        seed=config.seed,
+        quick=False,
+        scenario=config.scenario,
+    )
+    return {
+        name: (counts, profiled_run(workload_by_name(name), base))
+        for name in WORKLOADS
+    }
+
+
+def _cold_sweep(pools, config) -> dict[str, float]:
+    """The pre-streaming F2 unit: cold moments tomography per budget."""
+    final_maes: dict[str, float] = {}
+    for name, (counts, run_data) in pools.items():
+        for n in counts:
+            subset = run_data.dataset.subsample(n, rng=config.seed + n + 7919 * 0)
+            run_like = ProfiledRun(
+                spec=run_data.spec,
+                program=run_data.program,
+                result=run_data.result,
+                dataset=subset,
+                truth=run_data.truth,
+            )
+            thetas = tomography_thetas(run_like, config, method="moments")
+            final_maes[name] = program_estimation_error(
+                thetas, run_data.truth, "mae"
+            )
+    return final_maes
+
+
+def _stream_sweep(pools, config) -> dict[str, float]:
+    """One warm-started trajectory per workload over the same budgets."""
+    final_maes: dict[str, float] = {}
+    for name, (counts, run_data) in pools.items():
+        estimator = OnlineEstimator(
+            run_data.program, config.platform, OnlineOptions(epsilon=None)
+        )
+        point = None
+        for shard in dataset_shards(run_data.dataset, counts):
+            point = estimator.absorb(shard)
+        assert point is not None
+        final_maes[name] = program_estimation_error(
+            point.thetas, run_data.truth, "mae"
+        )
+    return final_maes
+
+
+def test_streaming_beats_cold_refits(benchmark, experiment_config):
+    pools = _pools(experiment_config)
+
+    started = time.perf_counter()
+    cold_maes = _cold_sweep(pools, experiment_config)
+    cold_secs = time.perf_counter() - started
+
+    started = time.perf_counter()
+    stream_maes = _stream_sweep(pools, experiment_config)
+    stream_secs = time.perf_counter() - started
+
+    # The history point tracks the streaming sweep itself.
+    benchmark.pedantic(
+        _stream_sweep, args=(pools, experiment_config), rounds=1, iterations=1
+    )
+
+    speedup = cold_secs / stream_secs
+    required = 1.0 if experiment_config.quick else MIN_SPEEDUP
+    assert speedup >= required, (
+        f"streaming sweep {stream_secs:.2f}s vs cold refits {cold_secs:.2f}s "
+        f"({speedup:.1f}x, need >= {required}x)"
+    )
+    for name, cold_mae in cold_maes.items():
+        allowed = max(cold_mae * MAE_HEADROOM, cold_mae + MAE_FLOOR)
+        assert stream_maes[name] <= allowed, (
+            f"{name}: streaming final MAE {stream_maes[name]:.4f} worse than "
+            f"cold {cold_mae:.4f} beyond the {MAE_HEADROOM:.0%} headroom"
+        )

@@ -42,6 +42,13 @@ from repro.core.identifiability import (
     exchangeable_pairs,
     practically_invisible_parameters,
 )
+from repro.core.online import (
+    OnlineCheckpoint,
+    OnlineEstimator,
+    OnlineOptions,
+    ShardEstimate,
+    dataset_shards,
+)
 from repro.core.confidence import BootstrapResult, bootstrap_confidence
 from repro.core.drift import DriftTrack, detect_drift, estimate_epochs
 from repro.core.report import estimation_report, render_estimation_report
@@ -60,6 +67,11 @@ __all__ = [
     "EstimationOptions",
     "EstimationResult",
     "ProcedureEstimate",
+    "OnlineEstimator",
+    "OnlineOptions",
+    "OnlineCheckpoint",
+    "ShardEstimate",
+    "dataset_shards",
     "IdentifiabilityReport",
     "analyze_identifiability",
     "exchangeable_pairs",

@@ -15,7 +15,15 @@ Treating the path as the latent variable gives a classic EM scheme:
 The family is re-enumerated whenever the iterate moves materially, so paths
 likely under the *estimate* (not under the 0.5 prior) stay covered.
 Observations matching no enumerated path (all kernels ≈ 0) are dropped from
-that iteration rather than poisoning the weights.
+that iteration rather than poisoning the weights; if *every* observation is
+dropped, the fit returns its current iterate flagged ``converged=False``
+with ``dropped_observations == n_samples`` instead of dividing by zero
+responsibility mass.
+
+:meth:`EMEstimator.fit_with_family` additionally accepts — and returns —
+the enumerated :class:`PathFamily`, which is what lets the streaming
+estimator (:mod:`repro.core.online`) warm-start each incremental re-fit
+from the previous iterate without paying enumeration again.
 """
 
 from __future__ import annotations
@@ -38,7 +46,13 @@ _MIN_KERNEL_STD = 0.5
 
 @dataclass(frozen=True)
 class EMResult:
-    """Outcome of one EM run."""
+    """Outcome of one EM run.
+
+    ``arm_counts`` holds the final M-step's responsibility-weighted arm
+    totals ``a_k + b_k`` per branch — the effective number of times each
+    branch was observed, which a Wald interval turns into a CI half-width
+    (see :mod:`repro.core.online`).  ``None`` on the trivial k=0 path.
+    """
 
     theta: np.ndarray
     iterations: int
@@ -47,6 +61,7 @@ class EMResult:
     n_samples: int
     n_paths: int
     dropped_observations: int
+    arm_counts: Optional[np.ndarray] = None
 
 
 class EMEstimator:
@@ -88,7 +103,13 @@ class EMEstimator:
         d, path_var = family.durations()
         var = self._kernel_variance() + path_var  # (n_paths,)
         diff = observations[:, None] - d[None, :]
-        return -0.5 * (diff**2 / var[None, :] + np.log(2.0 * np.pi * var[None, :]))
+        # Observations absurdly far from every path overflow diff**2 to inf;
+        # the resulting -inf log-kernel is exactly the "drop this row"
+        # signal the E-step wants, so the overflow is intentional.
+        with np.errstate(over="ignore"):
+            return -0.5 * (
+                diff**2 / var[None, :] + np.log(2.0 * np.pi * var[None, :])
+            )
 
     def fit(
         self,
@@ -96,29 +117,55 @@ class EMEstimator:
         theta0: Optional[Sequence[float]] = None,
     ) -> EMResult:
         """Run EM on measured ``durations``; ``theta0`` defaults to 0.5."""
+        result, _ = self.fit_with_family(durations, theta0=theta0)
+        return result
+
+    def fit_with_family(
+        self,
+        durations: Sequence[float],
+        theta0: Optional[Sequence[float]] = None,
+        family: Optional[PathFamily] = None,
+    ) -> tuple[EMResult, Optional[PathFamily]]:
+        """Like :meth:`fit`, but exchanges the enumerated :class:`PathFamily`.
+
+        ``family`` seeds the E-step with an already-enumerated family (built
+        under compatible reference theta and callee moments — the *caller*
+        vouches for that); the fit still re-enumerates internally whenever
+        the iterate drifts past ``reenumerate_shift``.  The family the fit
+        ended on is returned alongside the result so incremental callers can
+        cache it for the next shard.
+        """
         ys = np.asarray(durations, dtype=float)
         if ys.size == 0:
             raise EstimationError("EMEstimator.fit needs at least one duration sample")
         k = self.model.n_parameters
         if k == 0:
-            return EMResult(
-                theta=np.empty(0),
-                iterations=0,
-                converged=True,
-                log_likelihood=0.0,
-                n_samples=int(ys.size),
-                n_paths=0,
-                dropped_observations=0,
+            return (
+                EMResult(
+                    theta=np.empty(0),
+                    iterations=0,
+                    converged=True,
+                    log_likelihood=0.0,
+                    n_samples=int(ys.size),
+                    n_paths=0,
+                    dropped_observations=0,
+                ),
+                None,
             )
         theta = np.full(k, 0.5) if theta0 is None else np.asarray(theta0, dtype=float)
         if theta.shape != (k,):
             raise EstimationError(f"theta0 must have length {k}, got {theta.shape}")
         theta = np.clip(theta, 0.02, 0.98)
+        if family is not None and len(family.reference_theta) != k:
+            raise EstimationError(
+                f"warm-start family has {len(family.reference_theta)} parameters, "
+                f"model has {k}"
+            )
 
         with obs.span(
             "estimate.em", proc=self.model.procedure.name, samples=int(ys.size)
         ) as span_handle:
-            result = self._fit_loop(ys, theta)
+            result, family = self._fit_loop(ys, theta, family)
             span_handle.set(iterations=result.iterations, converged=result.converged)
         obs.inc("estimator.em_fits")
         obs.inc("estimator.em_iterations", result.iterations)
@@ -129,21 +176,25 @@ class EMEstimator:
         )
         if not result.converged:
             obs.inc("estimator.em_nonconverged")
-        return result
+        return result, family
 
-    def _fit_loop(self, ys: np.ndarray, theta: np.ndarray) -> EMResult:
-        """The EM iteration proper (split out so :meth:`fit` can trace it)."""
-        family = enumerate_paths(
-            self.model, theta, min_prob=self.min_prob, max_paths=self.max_paths
-        )
+    def _fit_loop(
+        self, ys: np.ndarray, theta: np.ndarray, family: Optional[PathFamily] = None
+    ) -> tuple[EMResult, PathFamily]:
+        """The EM iteration proper (split out so the public entry can trace it)."""
+        if family is None:
+            family = enumerate_paths(
+                self.model, theta, min_prob=self.min_prob, max_paths=self.max_paths
+            )
         log_kernel = self._log_kernel(ys, family)
         a_mat, b_mat = family.arm_count_matrices()
-        family_theta = theta.copy()
+        family_theta = np.asarray(family.reference_theta, dtype=float)
 
         converged = False
         log_likelihood = -np.inf
         dropped = 0
         iterations = 0
+        arm_counts = np.zeros(theta.size)
         for iterations in range(1, self.max_iterations + 1):
             # Re-enumerate when the iterate has drifted from the family's base.
             if np.max(np.abs(theta - family_theta)) > self.reenumerate_shift:
@@ -168,8 +219,23 @@ class EMEstimator:
             usable = np.isfinite(row_max)
             dropped = int(np.sum(~usable))
             if not np.any(usable):
-                raise EstimationError(
-                    "every observation is incompatible with the enumerated paths"
+                # The M-step would divide by zero responsibility mass.  Hand
+                # back the current iterate, honestly flagged: not converged,
+                # every observation dropped, zero effective arm counts (so
+                # any CI built from this fit stays full-width).
+                obs.inc("estimator.em_empty_mass")
+                return (
+                    EMResult(
+                        theta=theta,
+                        iterations=iterations,
+                        converged=False,
+                        log_likelihood=-np.inf,
+                        n_samples=int(ys.size),
+                        n_paths=len(family),
+                        dropped_observations=int(ys.size),
+                        arm_counts=np.zeros(theta.size),
+                    ),
+                    family,
                 )
             shifted = np.exp(log_joint[usable] - row_max[usable, None])
             norm = shifted.sum(axis=1, keepdims=True)
@@ -181,6 +247,7 @@ class EMEstimator:
             a_total = then_counts.sum(axis=0)
             b_total = else_counts.sum(axis=0)
             denom = a_total + b_total
+            arm_counts = denom
             new_theta = np.where(denom > 0, a_total / np.maximum(denom, 1e-12), theta)
             new_theta = np.clip(new_theta, 1e-4, 1.0 - 1e-4)
 
@@ -190,12 +257,16 @@ class EMEstimator:
                 break
             theta = new_theta
 
-        return EMResult(
-            theta=theta,
-            iterations=iterations,
-            converged=converged,
-            log_likelihood=log_likelihood,
-            n_samples=int(ys.size),
-            n_paths=len(family),
-            dropped_observations=dropped,
+        return (
+            EMResult(
+                theta=theta,
+                iterations=iterations,
+                converged=converged,
+                log_likelihood=log_likelihood,
+                n_samples=int(ys.size),
+                n_paths=len(family),
+                dropped_observations=dropped,
+                arm_counts=arm_counts,
+            ),
+            family,
         )

@@ -175,12 +175,20 @@ class CodeTomography:
         dataset: TimingDataset,
         options: Optional[EstimationOptions] = None,
         rng: RngSource = None,
+        warm_start: Optional[Mapping[str, np.ndarray]] = None,
     ) -> EstimationResult:
         """Estimate every procedure's branch probabilities from ``dataset``.
 
         Procedures with no timing samples fall back to the uninformed 0.5
         vector with a warning — downstream placement still works, it just
         gets no information for that procedure.
+
+        ``warm_start`` maps procedure name → a previous estimate's theta;
+        for the EM-based methods each warm theta joins the start race (the
+        highest-likelihood fit still wins), which typically cuts iteration
+        count sharply when re-fitting after new data arrives.  The moments
+        method ignores it.  :class:`~repro.core.online.OnlineEstimator` is
+        the incremental layer built on the same idea.
         """
         opts = options or EstimationOptions()
         gen = as_rng(rng if rng is not None else opts.seed)
@@ -192,8 +200,11 @@ class CodeTomography:
         ) as prog_span:
             for proc in self.program.topological_procedures():
                 model = self._timing.procedure_model(proc.name, callee_moments)
+                warm = None if warm_start is None else warm_start.get(proc.name)
                 with obs.span("estimate.proc", proc=proc.name, method=opts.method):
-                    estimate = self._estimate_procedure(model, dataset, opts, gen)
+                    estimate = self._estimate_procedure(
+                        model, dataset, opts, gen, warm_theta=warm
+                    )
                 result.estimates[proc.name] = estimate
                 result.warnings.extend(estimate.warnings)
                 obs.inc("estimator.procedures")
@@ -214,6 +225,7 @@ class CodeTomography:
         dataset: TimingDataset,
         opts: EstimationOptions,
         gen: np.random.Generator,
+        warm_theta: Optional[np.ndarray] = None,
     ) -> ProcedureEstimate:
         name = model.procedure.name
         k = model.n_parameters
@@ -319,9 +331,13 @@ class CodeTomography:
         # EM's likelihood surface is multimodal; "hybrid" races an EM run
         # started from the moments fit against one from the uniform prior and
         # keeps the higher-likelihood solution.
-        starts = [None]
+        starts: list = [None]
         if opts.method == "hybrid":
             starts.append(moment_fit.theta)
+        if warm_theta is not None:
+            warm = np.asarray(warm_theta, dtype=float)
+            if warm.shape == (k,):
+                starts.append(warm)
         em_result = None
         for theta0 in starts:
             candidate = em.fit(em_durations, theta0=theta0)

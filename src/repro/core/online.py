@@ -1,0 +1,499 @@
+"""Streaming tomography: warm-started incremental estimation.
+
+The paper's cost axis is *how many timing samples* profiling has to spend
+before the estimate is usable.  A batch fit answers that only in hindsight;
+this module answers it while collecting.  :class:`OnlineEstimator` absorbs
+timing observations in **shards** and re-fits after each one — but instead
+of re-running EM cold (0.5 prior, fresh path enumeration) the way
+:class:`~repro.core.estimator.CodeTomography` does per call, every re-fit
+
+* **warm-starts** EM from the previous shard's theta, and
+* **reuses** the previously enumerated :class:`~repro.core.path_enum.PathFamily`
+  while two invariants hold: the iterate has moved less than
+  ``reenumerate_shift`` from the family's reference theta, *and* the
+  procedure's reward means (which embed folded callee moments — family
+  durations are baked against them) have not drifted past ``callee_shift``.
+  Either violation rebuilds the family; leaf procedures, whose reward means
+  never move, reuse indefinitely.
+
+After each shard the estimator records a trajectory point
+(:class:`ShardEstimate`): per-procedure theta, Wald CI half-widths derived
+from EM's responsibility-weighted arm counts, and cumulative sample counts.
+The **convergence policy** stops collection when every measured procedure's
+CI half-widths drop below ``epsilon``, or when the
+:class:`~repro.profiling.budget.SampleBudget` is exhausted — whichever
+comes first (procedures with *no* samples yet are excluded from the CI
+criterion: they are unobservable, and the budget governs them).
+
+Checkpoints are picklable and carry the raw shards, so the experiment
+engine can fan shard streams out across processes and reassemble them in
+request+index order: :meth:`OnlineEstimator.merge` replays every
+checkpoint's shards in argument order, making the merged trajectory
+bit-identical to one estimator absorbing the same shards sequentially —
+at any ``--jobs``.  Everything here is deterministic: EM uses no RNG, so
+the trajectory is a pure function of the shard sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import EstimationError
+from repro.core.em import EMEstimator
+from repro.core.path_enum import PathFamily
+from repro.ir.program import Program
+from repro.markov.moments import RewardMoments
+from repro.mote.platform import Platform
+from repro.placement.layout import ProgramLayout
+from repro.profiling.budget import SampleBudget
+from repro.profiling.timing_profiler import TimingDataset
+from repro.sim.timing import ProgramTimingModel
+
+__all__ = [
+    "OnlineOptions",
+    "ShardEstimate",
+    "OnlineCheckpoint",
+    "OnlineEstimator",
+    "dataset_shards",
+]
+
+#: Two-sided 95% normal quantile, the default CI width.
+_Z_95 = 1.959963984540054
+
+#: A parameter with zero effective arm counts gets the honest half-width.
+_FULL_HALF_WIDTH = 0.5
+
+
+@dataclass(frozen=True)
+class OnlineOptions:
+    """Tuning knobs for one streaming estimation run.
+
+    ``epsilon=None`` disables the CI stopping criterion (the trajectory is
+    still tracked); ``budget=None`` disables the budget criterion.  The EM
+    knobs mirror :class:`~repro.core.estimator.EstimationOptions`.
+
+    ``warm_pseudo_count`` shrinks each warm start toward the uninformative
+    0.5 prior in proportion to how little data the previous iterate was fit
+    on: ``theta0 = (n_prev·theta_prev + n0·0.5) / (n_prev + n0)``.  Early
+    shards are small, and EM iterates fit on 50 samples can land at
+    extremes that poison every subsequent warm re-fit; the shrinkage washes
+    out exactly when the accumulated evidence (``n_prev``) dwarfs ``n0``.
+    Zero disables shrinkage (raw previous iterate).
+    """
+
+    epsilon: Optional[float] = 0.02
+    ci_z: float = _Z_95
+    budget: Optional[SampleBudget] = None
+    em_max_iterations: int = 60
+    em_tolerance: float = 1e-4
+    em_min_prob: float = 1e-6
+    em_max_paths: int = 2000
+    reenumerate_shift: float = 0.05
+    callee_shift: float = 0.01
+    warm_pseudo_count: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon is not None and not 0.0 < self.epsilon < 1.0:
+            raise EstimationError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if self.ci_z <= 0:
+            raise EstimationError(f"ci_z must be positive, got {self.ci_z}")
+        if self.callee_shift < 0:
+            raise EstimationError(f"callee_shift must be >= 0, got {self.callee_shift}")
+        if self.warm_pseudo_count < 0:
+            raise EstimationError(
+                f"warm_pseudo_count must be >= 0, got {self.warm_pseudo_count}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardEstimate:
+    """One trajectory point: the estimate's state after absorbing a shard."""
+
+    shard_index: int
+    n_samples: dict[str, int]
+    total_samples: int
+    thetas: dict[str, np.ndarray]
+    half_widths: dict[str, np.ndarray]
+    em_iterations: int
+    families_reused: int
+    families_rebuilt: int
+    converged: bool
+    budget_exhausted: bool
+
+    @property
+    def should_stop(self) -> bool:
+        """The convergence policy's verdict after this shard."""
+        return self.converged or self.budget_exhausted
+
+    @property
+    def max_half_width(self) -> float:
+        """Widest CI half-width over *measured* parametered procedures."""
+        widths = [
+            float(hw.max())
+            for name, hw in self.half_widths.items()
+            if hw.size and self.n_samples.get(name, 0) > 0
+        ]
+        return max(widths) if widths else 0.0
+
+
+@dataclass(frozen=True)
+class OnlineCheckpoint:
+    """Picklable snapshot of a streaming estimation in progress.
+
+    Carries both the fitted state (so :meth:`OnlineEstimator.resume` is
+    O(1) — no replay) and the raw shards (so :meth:`OnlineEstimator.merge`
+    can replay streams deterministically in request order).
+    """
+
+    program_name: str
+    shards: tuple[dict[str, np.ndarray], ...]
+    thetas: dict[str, np.ndarray]
+    families: dict[str, PathFamily]
+    family_means: dict[str, np.ndarray]
+    half_widths: dict[str, np.ndarray]
+    trajectory: tuple[ShardEstimate, ...]
+
+
+class OnlineEstimator:
+    """Absorbs timing shards and re-fits the whole program incrementally."""
+
+    def __init__(
+        self,
+        program: Program,
+        platform: Platform,
+        options: Optional[OnlineOptions] = None,
+        layout: Optional[ProgramLayout] = None,
+    ) -> None:
+        self.program = program
+        self.platform = platform
+        self.options = options or OnlineOptions()
+        self.layout = layout or ProgramLayout.source_order(program)
+        self._timing = ProgramTimingModel(program, platform, self.layout)
+        self._shards: list[dict[str, np.ndarray]] = []
+        self._samples: dict[str, np.ndarray] = {}
+        self._theta: dict[str, np.ndarray] = {}
+        self._family: dict[str, PathFamily] = {}
+        self._family_means: dict[str, np.ndarray] = {}
+        self._half_width: dict[str, np.ndarray] = {}
+        self._trajectory: list[ShardEstimate] = []
+
+    # -- absorbing shards ---------------------------------------------------
+
+    def absorb(
+        self, shard: Union[TimingDataset, Mapping[str, Sequence[float]]]
+    ) -> ShardEstimate:
+        """Fold one shard of observations in and re-fit; returns the point.
+
+        Absorbing past the stop verdict is allowed (more data never hurts);
+        ``should_stop`` is the *policy's* advice, enforced by the caller's
+        collection loop.
+        """
+        data = shard.samples if isinstance(shard, TimingDataset) else shard
+        arrays = {
+            name: np.asarray(xs, dtype=float).copy()
+            for name, xs in data.items()
+            if len(xs)
+        }
+        index = len(self._shards)
+        self._shards.append(arrays)
+        prev_counts = {name: int(xs.size) for name, xs in self._samples.items()}
+        for name, xs in arrays.items():
+            held = self._samples.get(name)
+            self._samples[name] = xs if held is None else np.concatenate([held, xs])
+        with obs.span(
+            "estimate.online.shard",
+            shard=index,
+            samples=int(sum(a.size for a in arrays.values())),
+        ) as span_handle:
+            point = self._refit(index, prev_counts)
+            span_handle.set(
+                em_iterations=point.em_iterations, converged=point.converged
+            )
+        obs.inc("online.shards")
+        obs.inc("online.em_iterations", point.em_iterations)
+        obs.inc("online.family_reuses", point.families_reused)
+        obs.inc("online.family_rebuilds", point.families_rebuilt)
+        self._trajectory.append(point)
+        return point
+
+    def _refit(
+        self, shard_index: int, prev_counts: Mapping[str, int]
+    ) -> ShardEstimate:
+        """One warm-started bottom-up sweep over the call graph.
+
+        ``prev_counts`` holds per-procedure sample counts *before* this
+        shard — the evidence behind the previous iterate, which sets the
+        warm-start shrinkage weight.
+        """
+        opts = self.options
+        callee_moments: dict[str, RewardMoments] = {}
+        em_iterations = 0
+        reused = 0
+        rebuilt = 0
+        for proc in self.program.topological_procedures():
+            name = proc.name
+            model = self._timing.procedure_model(name, callee_moments)
+            k = model.n_parameters
+            if k == 0:
+                theta = np.empty(0)
+                self._theta[name] = theta
+                self._half_width[name] = np.empty(0)
+                callee_moments[name] = model.moments(theta)
+                continue
+            ys = self._samples.get(name)
+            if ys is None or ys.size == 0:
+                theta = np.full(k, 0.5)
+                self._theta[name] = theta
+                self._half_width[name] = np.full(k, _FULL_HALF_WIDTH)
+                callee_moments[name] = model.moments(theta)
+                continue
+            theta0 = self._theta.get(name)
+            if theta0 is not None and theta0.shape != (k,):
+                theta0 = None
+            if theta0 is not None:
+                n_prev = float(prev_counts.get(name, 0))
+                n0 = opts.warm_pseudo_count
+                if n0 > 0.0:
+                    theta0 = (n_prev * theta0 + n0 * 0.5) / (n_prev + n0)
+            means = np.asarray(model.reward_means, dtype=float)
+            cached = self._reusable_family(name, means, theta0)
+            em = EMEstimator(
+                model,
+                timer=self.platform.timer,
+                max_iterations=opts.em_max_iterations,
+                tolerance=opts.em_tolerance,
+                min_prob=opts.em_min_prob,
+                max_paths=opts.em_max_paths,
+                reenumerate_shift=opts.reenumerate_shift,
+            )
+            result, family = em.fit_with_family(ys, theta0=theta0, family=cached)
+            em_iterations += result.iterations
+            if cached is not None and family is cached:
+                reused += 1
+            else:
+                rebuilt += 1
+                # Anchor the drift check at build time, not at every reuse —
+                # otherwise slow callee drift could creep past callee_shift
+                # without ever tripping it.
+                self._family_means[name] = means.copy()
+            self._theta[name] = result.theta
+            self._family[name] = family
+            self._half_width[name] = self._ci_half_width(result.theta, result.arm_counts)
+            callee_moments[name] = model.moments(result.theta)
+        return self._trajectory_point(shard_index, em_iterations, reused, rebuilt)
+
+    def _reusable_family(
+        self,
+        name: str,
+        reward_means: np.ndarray,
+        theta0: Optional[np.ndarray],
+    ) -> Optional[PathFamily]:
+        """The cached family, iff theta and callee moments are still close."""
+        family = self._family.get(name)
+        if family is None or theta0 is None:
+            return None
+        reference = np.asarray(family.reference_theta, dtype=float)
+        if reference.shape != theta0.shape:
+            return None
+        # EM clips its start the same way before comparing against the
+        # family's (already clipped) reference theta.
+        start = np.clip(theta0, 0.02, 0.98)
+        if np.max(np.abs(start - reference)) > self.options.reenumerate_shift:
+            return None
+        anchor = self._family_means.get(name)
+        if anchor is None or anchor.shape != reward_means.shape:
+            return None
+        scale = max(float(np.max(np.abs(anchor))), 1.0)
+        if np.max(np.abs(reward_means - anchor)) > self.options.callee_shift * scale:
+            return None
+        return family
+
+    def _ci_half_width(
+        self, theta: np.ndarray, arm_counts: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Wald half-width per branch from EM's effective arm counts."""
+        if arm_counts is None or arm_counts.shape != theta.shape:
+            return np.full(theta.shape, _FULL_HALF_WIDTH)
+        width = self.options.ci_z * np.sqrt(
+            theta * (1.0 - theta) / np.maximum(arm_counts, 1e-12)
+        )
+        return np.where(arm_counts > 0, np.minimum(width, _FULL_HALF_WIDTH), _FULL_HALF_WIDTH)
+
+    def _trajectory_point(
+        self, shard_index: int, em_iterations: int, reused: int, rebuilt: int
+    ) -> ShardEstimate:
+        counts = {name: int(xs.size) for name, xs in self._samples.items()}
+        converged = False
+        if self.options.epsilon is not None:
+            measured = [
+                hw
+                for name, hw in self._half_width.items()
+                if hw.size and counts.get(name, 0) > 0
+            ]
+            converged = bool(measured) and all(
+                float(hw.max()) < self.options.epsilon for hw in measured
+            )
+        budget = self.options.budget
+        exhausted = budget.exhausted(counts) if budget is not None else False
+        return ShardEstimate(
+            shard_index=shard_index,
+            n_samples=counts,
+            total_samples=sum(counts.values()),
+            thetas={name: t.copy() for name, t in self._theta.items()},
+            half_widths={name: hw.copy() for name, hw in self._half_width.items()},
+            em_iterations=em_iterations,
+            families_reused=reused,
+            families_rebuilt=rebuilt,
+            converged=converged,
+            budget_exhausted=exhausted,
+        )
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def thetas(self) -> dict[str, np.ndarray]:
+        """Current per-procedure estimates (copies)."""
+        return {name: t.copy() for name, t in self._theta.items()}
+
+    @property
+    def half_widths(self) -> dict[str, np.ndarray]:
+        """Current per-procedure CI half-widths (copies)."""
+        return {name: hw.copy() for name, hw in self._half_width.items()}
+
+    @property
+    def trajectory(self) -> tuple[ShardEstimate, ...]:
+        """All trajectory points, in absorb order."""
+        return tuple(self._trajectory)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(xs.size for xs in self._samples.values())
+
+    @property
+    def should_stop(self) -> bool:
+        """True once the last shard satisfied the convergence policy."""
+        return bool(self._trajectory) and self._trajectory[-1].should_stop
+
+    # -- checkpoint / resume / merge ----------------------------------------
+
+    def checkpoint(self) -> OnlineCheckpoint:
+        """Snapshot the run; picklable, independent of this instance."""
+        return OnlineCheckpoint(
+            program_name=self.program.name,
+            shards=tuple(
+                {name: xs.copy() for name, xs in shard.items()}
+                for shard in self._shards
+            ),
+            thetas={name: t.copy() for name, t in self._theta.items()},
+            families=dict(self._family),
+            family_means={name: m.copy() for name, m in self._family_means.items()},
+            half_widths={name: hw.copy() for name, hw in self._half_width.items()},
+            trajectory=tuple(self._trajectory),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        program: Program,
+        platform: Platform,
+        checkpoint: OnlineCheckpoint,
+        options: Optional[OnlineOptions] = None,
+        layout: Optional[ProgramLayout] = None,
+    ) -> "OnlineEstimator":
+        """Rebuild an estimator from a checkpoint without replaying shards.
+
+        Subsequent :meth:`absorb` calls continue exactly where the
+        checkpointed run left off — same thetas, same cached families —
+        so resumed and uninterrupted runs produce bit-identical
+        trajectories.
+        """
+        if checkpoint.program_name != program.name:
+            raise EstimationError(
+                f"checkpoint belongs to program {checkpoint.program_name!r}, "
+                f"not {program.name!r}"
+            )
+        est = cls(program, platform, options=options, layout=layout)
+        est._shards = [
+            {name: xs.copy() for name, xs in shard.items()}
+            for shard in checkpoint.shards
+        ]
+        for shard in est._shards:
+            for name, xs in shard.items():
+                held = est._samples.get(name)
+                est._samples[name] = (
+                    xs.copy() if held is None else np.concatenate([held, xs])
+                )
+        est._theta = {name: t.copy() for name, t in checkpoint.thetas.items()}
+        est._family = dict(checkpoint.families)
+        est._family_means = {
+            name: m.copy() for name, m in checkpoint.family_means.items()
+        }
+        est._half_width = {
+            name: hw.copy() for name, hw in checkpoint.half_widths.items()
+        }
+        est._trajectory = list(checkpoint.trajectory)
+        obs.inc("online.resumes")
+        return est
+
+    @classmethod
+    def merge(
+        cls,
+        program: Program,
+        platform: Platform,
+        checkpoints: Iterable[OnlineCheckpoint],
+        options: Optional[OnlineOptions] = None,
+        layout: Optional[ProgramLayout] = None,
+    ) -> "OnlineEstimator":
+        """Reassemble fanned-out shard streams, in request order.
+
+        Replays every checkpoint's shards in the order the checkpoints are
+        given (request+index order when they come back from the engine), so
+        the merged estimator is bit-identical to one that absorbed all those
+        shards sequentially — the property that makes the streaming
+        experiments byte-identical at any ``--jobs``.
+        """
+        est = cls(program, platform, options=options, layout=layout)
+        for ckpt in checkpoints:
+            if ckpt.program_name != program.name:
+                raise EstimationError(
+                    f"cannot merge checkpoint for program {ckpt.program_name!r} "
+                    f"into {program.name!r}"
+                )
+            for shard in ckpt.shards:
+                est.absorb(shard)
+        obs.inc("online.merges")
+        return est
+
+
+def dataset_shards(
+    dataset: TimingDataset, boundaries: Sequence[int]
+) -> list[TimingDataset]:
+    """Split a dataset into per-procedure prefix shards at ``boundaries``.
+
+    ``boundaries`` are strictly increasing cumulative per-procedure sample
+    budgets; shard ``i`` carries samples ``boundaries[i-1]:boundaries[i]``
+    of every procedure, in collection order.  A procedure with fewer samples
+    than a boundary simply stops contributing — nothing is repeated or
+    resampled, so feeding the shards to :meth:`OnlineEstimator.absorb` in
+    order reproduces the full dataset prefix by prefix.
+    """
+    shards: list[TimingDataset] = []
+    previous = 0
+    for bound in boundaries:
+        if bound <= previous:
+            raise EstimationError(
+                f"shard boundaries must be strictly increasing positives, "
+                f"got {list(boundaries)}"
+            )
+        shard: dict[str, np.ndarray] = {}
+        for name, xs in dataset.samples.items():
+            chunk = xs[previous:bound]
+            if chunk.size:
+                shard[name] = chunk.copy()
+        shards.append(TimingDataset(shard))
+        previous = bound
+    return shards

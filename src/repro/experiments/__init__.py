@@ -18,6 +18,7 @@ from repro.experiments import (
     fig_f6_robustness,
     fig_f7_drift,
     fig_f8_faults,
+    fig_f9_convergence,
     table_t1_benchmarks,
     table_t2_overhead,
     table_t3_estimators,
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "f6": fig_f6_robustness.run,
     "f7": fig_f7_drift.run,
     "f8": fig_f8_faults.run,
+    "f9": fig_f9_convergence.run,
 }
 
 # Imported after ALL_EXPERIMENTS exists: the engine resolves experiment

@@ -4,15 +4,24 @@ How many end-to-end measurements does tomography need?  The figure sweeps
 the per-procedure sample budget and reports pooled MAE per point; the
 expected shape is monotone improvement at roughly the Monte-Carlo 1/sqrt(n)
 rate until timer quantization floors it.
+
+Since the streaming estimator landed, each workload produces **one
+trajectory**: the long run's dataset is split into per-procedure prefix
+shards at the sample budgets and absorbed incrementally by
+:class:`~repro.core.online.OnlineEstimator`, which warm-starts EM and
+reuses path families between points instead of re-fitting cold per size.
+Every point therefore sees the same observation stream its predecessors
+saw — exactly the prefix property the old subsample loop approximated with
+repetitions — so the sweep needs no repetitions and is deterministic for a
+seed.
 """
 
 from __future__ import annotations
 
 from functools import partial
 
-import numpy as np
-
 from repro.analysis.metrics import program_estimation_error
+from repro.core.online import OnlineEstimator, OnlineOptions, dataset_shards
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
@@ -20,7 +29,6 @@ from repro.experiments.common import (
     combine_units,
     map_units,
     profiled_run,
-    tomography_thetas,
 )
 from repro.util.tables import Table
 from repro.workloads.registry import workload_by_name
@@ -32,38 +40,28 @@ WORKLOADS = ("sense", "event-detect", "oscilloscope")
 
 
 def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
-    """Sweep the sample budget on one workload (one batchable unit)."""
+    """Stream the sample-budget sweep on one workload (one batchable unit)."""
     counts = SAMPLE_COUNTS[:4] if config.quick else SAMPLE_COUNTS
-    max_needed = max(counts)
     spec = workload_by_name(name)
-    # One long run provides the pool; budgets subsample it so every
-    # point sees the same ground truth.
+    # One long run provides the pool; the budgets become prefix-shard
+    # boundaries so every point extends the previous point's data.
     base = ExperimentConfig(
         platform=config.platform,
-        activations=max_needed,
+        activations=max(counts),
         seed=config.seed,
         quick=False,
         scenario=config.scenario,
     )
     run_data = profiled_run(spec, base)
-    repetitions = 1 if config.quick else 3
+    estimator = OnlineEstimator(
+        run_data.program, config.platform, OnlineOptions(epsilon=None)
+    )
     unit = UnitResult()
-    for n in counts:
-        maes = []
-        for rep in range(repetitions):
-            subset = run_data.dataset.subsample(n, rng=config.seed + n + 7919 * rep)
-            run_like = type(run_data)(
-                spec=run_data.spec,
-                program=run_data.program,
-                result=run_data.result,
-                dataset=subset,
-                truth=run_data.truth,
-            )
-            thetas = tomography_thetas(run_like, config, method="moments")
-            maes.append(program_estimation_error(thetas, run_data.truth, "mae"))
-        mae = float(np.mean(maes))
-        unit.add_row(name, n, mae)
-        unit.add_series(workload=name, samples=n, mae=mae)
+    for point in map(estimator.absorb, dataset_shards(run_data.dataset, counts)):
+        mae = program_estimation_error(point.thetas, run_data.truth, "mae")
+        budget = counts[point.shard_index]
+        unit.add_row(name, budget, mae)
+        unit.add_series(workload=name, samples=budget, mae=mae)
     return unit
 
 
@@ -85,6 +83,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         timings=timings,
         notes=[
             "Shape check: MAE decreases (roughly ~1/sqrt(n)) as the timing "
-            "sample budget grows."
+            "sample budget grows.",
+            "Each workload is one streaming trajectory (warm-started "
+            "incremental EM over prefix shards), not per-size cold refits.",
         ],
     )

@@ -1,0 +1,125 @@
+"""F9 — Samples-to-convergence of streaming estimation, per workload.
+
+The streaming estimator's convergence policy (stop once every measured
+procedure's Wald CI half-width drops below ``epsilon``, or the sample
+budget runs out) turns "how many samples does profiling need?" into a
+quantity the profiler can answer **while collecting**.  This experiment
+reports the answer per workload: timing shards are absorbed one at a time
+and collection stops at the policy's verdict.
+
+The budget axis comes from :class:`~repro.profiling.budget.SampleBudget`,
+capped at the pool actually collected — so a workload whose CI never
+tightens below ``epsilon`` within the pool terminates with an honest
+``converged=no`` row rather than looping forever.  Everything is
+deterministic for a seed: EM uses no RNG and the shard sequence is a pure
+prefix split of the dataset.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.analysis.metrics import program_estimation_error
+from repro.core.online import OnlineEstimator, OnlineOptions, dataset_shards
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    UnitResult,
+    combine_units,
+    map_units,
+    profiled_run,
+)
+from repro.profiling.budget import SampleBudget
+from repro.util.tables import Table
+from repro.workloads.registry import workload_by_name
+
+__all__ = ["run", "workload_unit", "EPSILON", "WORKLOADS"]
+
+#: CI half-width at which a procedure's estimate counts as "tight enough".
+EPSILON = 0.035
+
+WORKLOADS = ("sense", "event-detect", "oscilloscope", "surge")
+
+_POOL_ACTIVATIONS = 5000
+_SHARD_SIZE = 250
+_QUICK_POOL = 600
+_QUICK_SHARD = 100
+
+
+def workload_unit(name: str, config: ExperimentConfig) -> UnitResult:
+    """Stream one workload until the convergence policy calls the stop."""
+    pool = _QUICK_POOL if config.quick else _POOL_ACTIVATIONS
+    step = _QUICK_SHARD if config.quick else _SHARD_SIZE
+    spec = workload_by_name(name)
+    base = ExperimentConfig(
+        platform=config.platform,
+        activations=pool,
+        seed=config.seed,
+        quick=False,
+        scenario=config.scenario,
+    )
+    run_data = profiled_run(spec, base)
+    total_pool = sum(xs.size for xs in run_data.dataset.samples.values())
+    options = OnlineOptions(
+        epsilon=EPSILON, budget=SampleBudget(max_total=total_pool)
+    )
+    estimator = OnlineEstimator(run_data.program, config.platform, options)
+    boundaries = tuple(range(step, pool + 1, step))
+    point = None
+    for shard in dataset_shards(run_data.dataset, boundaries):
+        point = estimator.absorb(shard)
+        if point.should_stop:
+            break
+    assert point is not None  # boundaries is never empty
+    mae = program_estimation_error(point.thetas, run_data.truth, "mae")
+    unit = UnitResult()
+    unit.add_row(
+        name,
+        point.shard_index + 1,
+        point.total_samples,
+        "yes" if point.converged else "no",
+        point.max_half_width,
+        mae,
+    )
+    unit.add_series(
+        workload=name,
+        shards=point.shard_index + 1,
+        samples=point.total_samples,
+        converged=point.converged,
+        max_half_width=point.max_half_width,
+        mae=mae,
+    )
+    return unit
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Report samples-to-convergence for each representative workload."""
+    table = Table(
+        f"F9: timing samples until CI half-widths < {EPSILON}",
+        ["workload", "shards", "samples", "converged", "max_hw", "mae"],
+        digits=4,
+    )
+    series: dict[str, list] = {
+        "workload": [],
+        "shards": [],
+        "samples": [],
+        "converged": [],
+        "max_half_width": [],
+        "mae": [],
+    }
+    units = map_units(partial(workload_unit, config=config), WORKLOADS)
+    timings = combine_units(units, table, series)
+    return ExperimentResult(
+        experiment_id="f9",
+        title="samples to convergence (streaming)",
+        tables=[table],
+        series=series,
+        timings=timings,
+        notes=[
+            "Collection stops when every measured procedure's Wald CI "
+            "half-width is below epsilon, or when the sample budget "
+            "(the collected pool) is exhausted — whichever comes first.",
+            "converged=no means the pool ran out first; max_hw shows how "
+            "far the widest interval still was.",
+        ],
+    )

@@ -20,6 +20,21 @@ __all__ = ["sample_path", "sample_reward", "sample_rewards"]
 _DEFAULT_MAX_STEPS = 1_000_000
 
 
+def _transition_rows(chain: AbsorbingChain) -> np.ndarray:
+    """Transition rows with EXIT as the final column, renormalized to pmfs.
+
+    Chain construction tolerates row sums within ``1 ± 1e-8``, but
+    ``Generator.choice`` rejects anything past its own (tighter in practice)
+    tolerance — and cumulative binning needs exact unit mass anyway.  Both
+    samplers draw from these rows, so the rounding is scrubbed once here.
+    """
+    matrix = np.hstack([chain.Q, chain.exit_probabilities[:, None]])
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    if np.any(row_sums <= 0.0):
+        raise MarkovError("transition matrix has a zero-mass row")
+    return matrix / row_sums
+
+
 def sample_path(
     chain: AbsorbingChain,
     rng: RngSource = None,
@@ -31,7 +46,7 @@ def sample_path(
     well-formed procedure chain absorbs almost surely long before.
     """
     gen = as_rng(rng)
-    matrix = np.hstack([chain.Q, chain.exit_probabilities[:, None]])
+    matrix = _transition_rows(chain)
     n = chain.n
     path: list[str] = []
     state = chain.start_index
@@ -77,7 +92,7 @@ def sample_rewards(
     gen = as_rng(rng)
     n = chain.n
     # Cumulative transition rows, EXIT as the final column.
-    cumulative = np.cumsum(np.hstack([chain.Q, chain.exit_probabilities[:, None]]), axis=1)
+    cumulative = np.cumsum(_transition_rows(chain), axis=1)
     cumulative[:, -1] = 1.0  # guard against rounding shortfall
     state = np.full(count, chain.start_index, dtype=np.int64)
     alive = np.ones(count, dtype=bool)
@@ -89,7 +104,12 @@ def sample_rewards(
         current = state[idx]
         totals[idx] += chain.rewards[current]
         draws = gen.random(idx.size)
-        nxt = (cumulative[current] < draws[:, None]).sum(axis=1)
+        # searchsorted(side="right") semantics: state j is selected iff
+        # cumulative[j-1] <= draw < cumulative[j], which is impossible for a
+        # zero-probability column (its cumulative equals its predecessor's).
+        # A strict `<` here would let a draw of exactly 0.0 land on column 0
+        # even when its probability is 0 — common for theta ∈ {0, 1} branches.
+        nxt = (cumulative[current] <= draws[:, None]).sum(axis=1)
         exited = nxt == n
         alive[idx[exited]] = False
         moved = ~exited

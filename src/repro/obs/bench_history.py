@@ -203,7 +203,12 @@ def check_history(
       against the most recent prior record with the same ``git_sha``; any
       difference in any shared benchmark is a failure.
 
-    An empty or single-record history passes vacuously.
+    An empty or single-record history passes vacuously.  A benchmark that
+    exists only in the newest record (just added, or renamed historically)
+    has no prior points and passes; degenerate records — ``benchmarks`` /
+    ``counters`` / ``host`` present but null, or stats missing — are
+    skipped rather than crashing the gate (histories are hand-editable
+    JSON, and the gate must not fail for a reason other than a regression).
     """
     failures: list[str] = []
     if len(records) < 2:
@@ -212,17 +217,18 @@ def check_history(
     trail = records[:-1]
 
     if wallclock:
-        machine = newest.get("host", {}).get("machine")
-        for name, stats in newest.get("benchmarks", {}).items():
-            current = stats.get("median")
+        machine = (newest.get("host") or {}).get("machine")
+        for name, stats in (newest.get("benchmarks") or {}).items():
+            current = (stats or {}).get("median")
             if current is None:
                 continue
             prior = [
-                r["benchmarks"][name]["median"]
+                benches[name]["median"]
                 for r in trail
-                if name in r.get("benchmarks", {})
-                and "median" in r["benchmarks"][name]
-                and r.get("host", {}).get("machine") == machine
+                for benches in [(r.get("benchmarks") or {})]
+                if isinstance(benches.get(name), Mapping)
+                and "median" in benches[name]
+                and (r.get("host") or {}).get("machine") == machine
             ]
             if not prior:
                 continue
@@ -240,8 +246,8 @@ def check_history(
             (r for r in reversed(trail) if r.get("git_sha") == sha), None
         )
         if reference is not None:
-            for name, snap in newest.get("counters", {}).items():
-                ref_snap = reference.get("counters", {}).get(name)
+            for name, snap in (newest.get("counters") or {}).items():
+                ref_snap = (reference.get("counters") or {}).get(name)
                 if ref_snap is None:
                     continue
                 if snap != ref_snap:

@@ -29,7 +29,7 @@ from repro.profiling.overhead import (
     timing_overhead,
     timing_overhead_from_counts,
 )
-from repro.profiling.budget import HookPlan, apply_plan, plan_hooks
+from repro.profiling.budget import HookPlan, SampleBudget, apply_plan, plan_hooks
 from repro.profiling.serialize import (
     dataset_from_json,
     dataset_to_json,
@@ -56,6 +56,7 @@ __all__ = [
     "timing_overhead",
     "timing_overhead_from_counts",
     "HookPlan",
+    "SampleBudget",
     "plan_hooks",
     "apply_plan",
     "dataset_to_json",

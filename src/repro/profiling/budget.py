@@ -1,6 +1,13 @@
-"""Hook placement under a RAM budget.
+"""Profiling budgets: hook placement under RAM, collection under sample caps.
 
-A deployment may not afford timing hooks on *every* procedure — each costs
+Two independent budget axes live here.  :class:`SampleBudget` caps how many
+timing *measurements* a profiling campaign may spend — the paper's central
+cost axis, consumed by the streaming estimator's convergence policy
+(:mod:`repro.core.online`): collection stops when every CI is tight enough
+**or** the budget is exhausted, whichever comes first.
+
+The rest of the module is hook *placement* under a RAM budget.  A deployment
+may not afford timing hooks on *every* procedure — each costs
 :data:`~repro.profiling.overhead.TIMING_RAM_BYTES_PER_PROC` bytes of
 accumulator RAM plus per-invocation cycles.  This planner picks which
 procedures to instrument:
@@ -29,7 +36,39 @@ from repro.ir.program import Program
 from repro.profiling.overhead import TIMING_RAM_BYTES_PER_PROC
 from repro.profiling.timing_profiler import TimingDataset
 
-__all__ = ["HookPlan", "plan_hooks", "apply_plan"]
+__all__ = ["SampleBudget", "HookPlan", "plan_hooks", "apply_plan"]
+
+
+@dataclass(frozen=True)
+class SampleBudget:
+    """Cap on how many timing samples a profiling campaign may spend.
+
+    ``max_total`` bounds the sum over all procedures; ``max_per_procedure``
+    is exhausted only once *every* measured procedure has reached it (a cold
+    procedure that never reaches the cap cannot, by itself, keep collection
+    running forever — the total cap exists for exactly that).  At least one
+    cap must be set.
+    """
+
+    max_total: Optional[int] = None
+    max_per_procedure: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_total is None and self.max_per_procedure is None:
+            raise ProfilingError("SampleBudget needs max_total, max_per_procedure, or both")
+        for name in ("max_total", "max_per_procedure"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ProfilingError(f"{name} must be >= 1, got {value}")
+
+    def exhausted(self, counts: Mapping[str, int]) -> bool:
+        """True once the per-procedure sample ``counts`` hit either cap."""
+        if self.max_total is not None and sum(counts.values()) >= self.max_total:
+            return True
+        if self.max_per_procedure is not None and counts:
+            if min(counts.values()) >= self.max_per_procedure:
+                return True
+        return False
 
 
 @dataclass(frozen=True)

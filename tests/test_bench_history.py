@@ -147,6 +147,45 @@ class TestRegressionGate:
         assert check_history([]) == []
         assert check_history([record()]) == []
 
+    def test_benchmark_only_in_newest_record_passes(self):
+        # A benchmark just added (or renamed historically) has no prior
+        # points; the gate must treat that as "trajectory starts here",
+        # not crash scanning the trail for it.
+        newest = record(sha="bbb")
+        newest["benchmarks"]["bench_new.py::test_new"] = {
+            "median": 3.0, "mean": 3.0, "rounds": 1,
+        }
+        assert check_history([record(), newest]) == []
+
+    def test_degenerate_trail_records_are_skipped(self):
+        # Histories are hand-editable JSON: a trail record with nulled-out
+        # blocks must be skipped, not crash the gate.
+        broken = record(sha="s0")
+        broken["benchmarks"] = None
+        broken["counters"] = None
+        broken["host"] = None
+        history = [broken, record(sha="s1"), record(median=1.05, sha="s1")]
+        assert check_history(history) == []
+
+    def test_degenerate_newest_record_passes(self):
+        newest = record(sha="bbb")
+        newest["benchmarks"] = None
+        newest["counters"] = None
+        assert check_history([record(), newest]) == []
+
+    def test_prior_records_from_other_machines_are_skipped(self):
+        elsewhere = record(median=0.1)
+        elsewhere["host"] = {"machine": "some-other-box"}
+        # Only cross-machine priors exist -> no baseline -> pass, even
+        # though the newest median is 10x the foreign one.
+        assert check_history([elsewhere, record(median=1.0, sha="bbb")]) == []
+
+    def test_trail_stats_without_median_are_skipped(self):
+        partial = record(sha="s0")
+        partial["benchmarks"]["bench_f4.py::test_f4"] = {"rounds": 1}
+        history = [partial, record(), record(median=1.05, sha="bbb")]
+        assert check_history(history) == []
+
 
 def _load_bench_track():
     script = Path(__file__).resolve().parent.parent / "scripts" / "bench_track.py"

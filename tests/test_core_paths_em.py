@@ -144,3 +144,31 @@ class TestEMEstimator:
             EMEstimator(diamond_model, max_iterations=0)
         with pytest.raises(EstimationError):
             EMEstimator(diamond_model, tolerance=0.0)
+
+
+class TestEmptyResponsibilityMass:
+    def test_observations_outside_every_path_return_prior_iterate(
+        self, diamond_model
+    ):
+        # Regression: observations so far from every enumerated path that
+        # all kernel rows underflow to -inf used to hit the M-step with
+        # zero responsibility mass.  The fit must hand back its current
+        # iterate, honestly flagged, instead of raising (or dividing by
+        # zero into NaN).
+        est = EMEstimator(diamond_model, timer=MICAZ_LIKE.timer)
+        result = est.fit([1e200] * 6, theta0=[0.3])
+        assert not result.converged
+        assert result.n_samples == 6
+        assert result.dropped_observations == 6
+        assert result.theta == pytest.approx([0.3])
+        assert np.all(np.isfinite(result.theta))
+        assert result.log_likelihood == -np.inf
+        assert result.arm_counts is not None
+        assert np.all(result.arm_counts == 0.0)
+
+    def test_partial_drop_still_fits_the_rest(self, diamond_model):
+        est = EMEstimator(diamond_model, timer=MICAZ_LIKE.timer)
+        good = sample_rewards(diamond_model.chain([0.7]), 200, rng=9)
+        result = est.fit(np.concatenate([good, [1e200] * 3]))
+        assert result.dropped_observations == 3
+        assert np.all(np.isfinite(result.theta))

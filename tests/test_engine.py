@@ -129,6 +129,15 @@ class TestEngineDeterminism:
         assert renders(serial) == renders(fanned)
         assert serial[0].result.series == fanned[0].result.series
 
+    def test_streaming_trajectory_identical_across_jobs(self):
+        # F9's trajectory is a pure function of the shard sequence (EM uses
+        # no RNG; merge replays shards in request+index order), so fanning
+        # its workload units over processes must not move a byte.
+        serial = run_experiments(["f9"], QUICK, jobs=1)
+        fanned = run_experiments(["f9"], QUICK, jobs=2)
+        assert renders(serial) == renders(fanned)
+        assert serial[0].result.series == fanned[0].result.series
+
     def test_outcomes_come_back_in_request_order(self):
         outcomes = run_experiments(["f7", "t1"], QUICK, jobs=2)
         assert [o.experiment_id for o in outcomes] == ["f7", "t1"]

@@ -218,3 +218,59 @@ class TestSampling:
         xs = sample_rewards(chain, 4000, rng=17)
         m = reward_moments(chain)
         assert xs.mean() == pytest.approx(m.mean, abs=max(1.0, 0.1 * (a + b)))
+
+
+class _ZeroDrawRng(np.random.Generator):
+    """A Generator whose uniform draws are all exactly 0.0."""
+
+    def __init__(self) -> None:
+        super().__init__(np.random.PCG64(0))
+
+    def random(self, size=None, *args, **kwargs):  # noqa: A003
+        return np.zeros(size if size is not None else ())
+
+
+class TestSamplingEdgeCases:
+    def test_zero_probability_arm_never_selected_on_zero_draw(self):
+        # Regression: cumulative binning with a strict `<` let a draw of
+        # exactly 0.0 select column 0 even when its probability was 0.
+        chain = bernoulli_chain(0.0, 1e6, 5.0)
+        totals = sample_rewards(chain, 16, rng=_ZeroDrawRng())
+        assert np.all(totals == 5.0)
+
+    def test_certain_arm_always_selected_on_zero_draw(self):
+        chain = bernoulli_chain(1.0, 5.0, 1e6)
+        totals = sample_rewards(chain, 16, rng=_ZeroDrawRng())
+        assert np.all(totals == 5.0)
+
+    def test_zero_probability_arm_never_selected_at_any_seed(self):
+        chain = bernoulli_chain(0.0, 1e6, 5.0)
+        for seed in range(8):
+            assert np.all(sample_rewards(chain, 500, rng=seed) == 5.0)
+
+    def test_sample_path_tolerates_tiny_row_sum_error(self):
+        # Chain construction accepts rows within 1e-8 of unit mass; both
+        # samplers must renormalize rather than hand the raw rows to
+        # Generator.choice (whose own tolerance they can exceed).
+        chain = two_state_chain(p_exit=0.4)
+        chain._matrix[0, 1] += 1e-12
+        chain._matrix[1, 1] += 1e-12
+        path = sample_path(chain, rng=0)
+        assert path[0] == "a"
+
+    def test_samplers_tolerate_row_sum_error_beyond_choice_tolerance(self):
+        # Regression: rows summing to 1 +/- ~1e-7 (past Generator.choice's
+        # acceptance window) made sample_path raise ValueError.
+        chain = two_state_chain(p_exit=0.4)
+        chain._matrix[0, 1] += 1e-7
+        chain._matrix[1, 2] -= 1e-7
+        path = sample_path(chain, rng=0)
+        assert path[0] == "a"
+        totals = sample_rewards(chain, 100, rng=0)
+        assert totals.shape == (100,)
+
+    def test_zero_mass_row_rejected(self):
+        chain = two_state_chain(p_exit=0.4)
+        chain._matrix[1, :] = 0.0
+        with pytest.raises(MarkovError, match="zero-mass"):
+            sample_path(chain, rng=0)

@@ -319,3 +319,71 @@ class TestFaultLayerProperties:
         kept, rejected = robust_filter(model, raw, MICAZ_LIKE.timer)
         assert kept.size + rejected == len(raw)
         assert rejected <= math.floor(0.35 * len(raw))
+
+
+class TestShardedStatsAgree:
+    """RunningStats shard-merge == batch empirical moments (the property the
+    streaming estimator's shard plumbing leans on)."""
+
+    @given(
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extend_plus_merge_matches_batch_moments(self, xs, data):
+        from repro.util.stats import RunningStats, empirical_moments
+
+        # Random shard split: 1..4 cut points anywhere in the list.
+        n_cuts = data.draw(st.integers(0, 3))
+        cuts = sorted(
+            data.draw(st.integers(0, len(xs))) for _ in range(n_cuts)
+        )
+        bounds = [0, *cuts, len(xs)]
+        shards = [xs[a:b] for a, b in zip(bounds, bounds[1:])]
+
+        merged = RunningStats()
+        for shard in shards:
+            part = RunningStats()
+            part.extend(shard)
+            merged = merged.merge(part)
+
+        mean, variance, third = empirical_moments(xs)
+        scale = max(1.0, abs(mean))
+        assert merged.count == len(xs)
+        assert merged.mean == pytest.approx(mean, rel=1e-9, abs=1e-9 * scale)
+        assert merged.variance == pytest.approx(
+            variance, rel=1e-7, abs=1e-7 * scale**2
+        )
+        assert merged.third_central_moment == pytest.approx(
+            third, rel=1e-6, abs=1e-6 * scale**3
+        )
+        if variance > 1e-12 * scale**2:
+            assert merged.skewness == pytest.approx(
+                third / variance**1.5, rel=1e-5, abs=1e-6
+            )
+
+
+class TestSamplerNeverVisitsZeroProbabilityStates:
+    @given(st.integers(0, 2_000), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_probability_arm_stays_unvisited(self, seed, arm_is_then):
+        from repro.markov import AbsorbingChain
+        from repro.markov.sampling import sample_path, sample_rewards
+
+        marker = 1e9  # reward only the forbidden arm carries
+        p = 0.0 if arm_is_then else 1.0
+        matrix = np.array(
+            [
+                [0.0, p, 1.0 - p, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        rewards = [0.0, marker, 1.0] if arm_is_then else [0.0, 1.0, marker]
+        forbidden = "then" if arm_is_then else "else"
+        chain = AbsorbingChain(
+            ["entry", "then", "else"], matrix, rewards, "entry"
+        )
+        totals = sample_rewards(chain, 64, rng=seed)
+        assert np.all(totals < marker)
+        assert forbidden not in sample_path(chain, rng=seed)
