@@ -1,6 +1,6 @@
 """OBS — bound the telemetry layer's overhead on the F1 workload.
 
-The observability contract (docs/ARCHITECTURE.md, "Observability") promises
+The observability contract (docs/observability.md) promises
 that instrumentation is effectively free: disabled sites are a global read
 plus an early return, and enabled capture is a dict append per span.  This
 benchmark pins the enabled-path cost: the full-size F1 experiment runs with

@@ -90,7 +90,8 @@ def main(argv=None) -> int:
                 f"{args.metrics}: OK — {summary['counters']} counters, "
                 f"{summary['histograms']} histograms, "
                 f"manifest={'yes' if summary['has_manifest'] else 'no'}, "
-                f"hw-counters={'yes' if summary['has_hw_counters'] else 'no'}"
+                f"hw-counters={'yes' if summary['has_hw_counters'] else 'no'}, "
+                f"serve={'yes' if summary['has_serve'] else 'no'}"
             )
         if args.hw_counters is not None:
             summary = validate_hw_counters_file(args.hw_counters)

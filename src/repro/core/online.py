@@ -59,6 +59,7 @@ __all__ = [
     "OnlineCheckpoint",
     "OnlineEstimator",
     "dataset_shards",
+    "merge_shards",
 ]
 
 #: Two-sided 95% normal quantile, the default CI width.
@@ -219,6 +220,24 @@ class OnlineEstimator:
         obs.inc("online.family_rebuilds", point.families_rebuilt)
         self._trajectory.append(point)
         return point
+
+    def absorb_batch(
+        self, shards: Sequence[Union[TimingDataset, Mapping[str, Sequence[float]]]]
+    ) -> ShardEstimate:
+        """Fold several shards in with **one** re-fit (micro-batching).
+
+        The shards are merged in argument order (per-procedure arrays
+        concatenate), then absorbed as a single shard, so the cost is one
+        warm-started EM sweep per batch instead of one per shard.  This is
+        the primitive the ingestion service's batcher leans on: the merged
+        estimate is a pure function of the shard sequence and the batch
+        boundaries, so identical batching yields bit-identical trajectories
+        at any worker count.  An empty batch raises — a flush with nothing
+        to flush is a scheduling bug, not a no-op.
+        """
+        if not shards:
+            raise EstimationError("absorb_batch needs at least one shard")
+        return self.absorb(merge_shards(shards))
 
     def _refit(
         self, shard_index: int, prev_counts: Mapping[str, int]
@@ -467,6 +486,25 @@ class OnlineEstimator:
                 est.absorb(shard)
         obs.inc("online.merges")
         return est
+
+
+def merge_shards(
+    shards: Sequence[Union[TimingDataset, Mapping[str, Sequence[float]]]],
+) -> dict[str, np.ndarray]:
+    """Concatenate shards, in order, into one per-procedure sample dict.
+
+    Order matters and is preserved: two merges of the same shard sequence
+    are element-for-element identical, which is what lets the ingestion
+    service's micro-batches stay deterministic under any scheduling.
+    """
+    merged: dict[str, list[np.ndarray]] = {}
+    for shard in shards:
+        data = shard.samples if isinstance(shard, TimingDataset) else shard
+        for name, xs in data.items():
+            arr = np.asarray(xs, dtype=float)
+            if arr.size:
+                merged.setdefault(name, []).append(arr)
+    return {name: np.concatenate(chunks) for name, chunks in merged.items()}
 
 
 def dataset_shards(

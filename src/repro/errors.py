@@ -29,6 +29,8 @@ __all__ = [
     "ExperimentError",
     "UnitExecutionError",
     "ObsError",
+    "ServeError",
+    "ProtocolError",
 ]
 
 
@@ -123,6 +125,25 @@ class ObsError(ReproError):
     design: a silently misaligned merge would corrupt every downstream
     reading.
     """
+
+
+class ServeError(ReproError):
+    """Errors from the fleet ingestion service (:mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A serve request violated the JSON-lines wire protocol.
+
+    Carries a stable machine-readable ``code`` (e.g. ``"bad-json"``,
+    ``"bad-shard"``, ``"unknown-tenant"``) so the service can answer with a
+    structured error object instead of a bare string — motes retry on codes,
+    not prose.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
 
 
 class UnitExecutionError(ExperimentError):

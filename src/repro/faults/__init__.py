@@ -24,7 +24,7 @@ to the pre-fault codebase.
 """
 
 from repro.faults.model import FAULT_FREE, FaultInjector, FaultModel
-from repro.faults.inject import CollectionStats, collect_timing
+from repro.faults.inject import CollectionStats, collect_timing, faulty_samples
 
 __all__ = [
     "FAULT_FREE",
@@ -32,4 +32,5 @@ __all__ = [
     "FaultInjector",
     "CollectionStats",
     "collect_timing",
+    "faulty_samples",
 ]

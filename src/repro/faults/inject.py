@@ -29,7 +29,7 @@ from repro.profiling.timing_profiler import TimingDataset
 from repro.sim.trace import InvocationRecord
 from repro.util.rng import RngSource, as_rng
 
-__all__ = ["CollectionStats", "collect_timing"]
+__all__ = ["CollectionStats", "collect_timing", "faulty_samples"]
 
 
 @dataclass(frozen=True)
@@ -105,3 +105,60 @@ def collect_timing(
         if count:
             obs.inc(f"faults.injected.{kind}", count)
     return dataset, stats
+
+
+def faulty_samples(
+    injector: Optional[FaultInjector],
+    values: np.ndarray,
+    cycles_per_tick: int,
+) -> tuple[np.ndarray, CollectionStats]:
+    """Apply per-record uplink fates to already-measured durations.
+
+    The fleet load generator (:mod:`repro.serve.loadgen`) holds raw duration
+    arrays rather than :class:`~repro.sim.trace.InvocationRecord` streams, so
+    this is :func:`collect_timing`'s fate-dealing half on its own: every
+    value draws one fate from the injector's ``timing`` stream — in array
+    order, so the stream budget is identical at every fault rate — and is
+    delivered, dropped, corrupted, or glitched accordingly.  A ``None`` (or
+    disabled) injector is a strict no-op returning the input untouched.
+    """
+    values = np.asarray(values, dtype=float)
+    if injector is None or not injector.model.enabled:
+        stats = CollectionStats(
+            measured=int(values.size),
+            delivered=int(values.size),
+            dropped=0,
+            corrupted=0,
+            glitched=0,
+        )
+        return values, stats
+    kept: list[float] = []
+    dropped = corrupted = glitched = 0
+    for value in values:
+        fate = injector.record_outcome()
+        if fate == "drop":
+            dropped += 1
+            continue
+        if fate == "corrupt":
+            value = injector.corrupt_duration(cycles_per_tick)
+            corrupted += 1
+        elif fate == "glitch":
+            value = float(value) + injector.glitch_cycles()
+            glitched += 1
+        kept.append(float(value))
+    stats = CollectionStats(
+        measured=int(values.size),
+        delivered=len(kept),
+        dropped=dropped,
+        corrupted=corrupted,
+        glitched=glitched,
+    )
+    obs.inc("faults.collect.measured", stats.measured)
+    for kind, count in (
+        ("record_drop", dropped),
+        ("record_corrupt", corrupted),
+        ("record_glitch", glitched),
+    ):
+        if count:
+            obs.inc(f"faults.injected.{kind}", count)
+    return np.asarray(kept, dtype=float), stats

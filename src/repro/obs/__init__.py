@@ -9,7 +9,7 @@ and artifact validators (:mod:`repro.obs.validate`).
 The contract every instrumented module leans on: **telemetry off (the
 default) is a strict no-op** — no RNG draws, no table changes, near-zero
 work — so rendered experiment output is byte-identical with telemetry on,
-off, serial, or parallel.  See ``docs/ARCHITECTURE.md`` ("Observability").
+off, serial, or parallel.  See ``docs/observability.md``.
 """
 
 from repro.errors import ObsError
@@ -63,6 +63,7 @@ from repro.obs.validate import (
     validate_counter_snapshot,
     validate_hw_counters_file,
     validate_metrics_file,
+    validate_serve_stats,
     validate_trace_jsonl,
 )
 
@@ -111,5 +112,6 @@ __all__ = [
     "validate_counter_snapshot",
     "validate_hw_counters_file",
     "validate_metrics_file",
+    "validate_serve_stats",
     "validate_trace_jsonl",
 ]

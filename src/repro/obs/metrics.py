@@ -236,12 +236,18 @@ def write_metrics(
     registry: MetricsRegistry,
     manifest: Optional[dict] = None,
     hardware_counters: Optional[dict] = None,
+    serve: Optional[dict] = None,
 ) -> Path:
     """Write the registry snapshot (plus an optional run manifest) as JSON.
 
     ``hardware_counters`` — a snapshot from
     :meth:`repro.obs.counters.HardwareCounters.snapshot` — rides along under
-    its own key when the run captured mote-level counters.
+    its own key when the run captured mote-level counters; ``serve`` — an
+    ingestion-service stats payload
+    (:meth:`repro.serve.service.IngestionService.stats_payload`) — likewise
+    for service runs.  These four keys are the file's complete top-level
+    vocabulary; :func:`repro.obs.validate.validate_metrics_file` rejects
+    anything else.
     """
     path = Path(path)
     payload: dict = {"metrics": registry.snapshot()}
@@ -249,5 +255,7 @@ def write_metrics(
         payload["manifest"] = manifest
     if hardware_counters is not None:
         payload["hardware_counters"] = hardware_counters
+    if serve is not None:
+        payload["serve"] = serve
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

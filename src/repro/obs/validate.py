@@ -28,10 +28,21 @@ __all__ = [
     "validate_chrome_trace",
     "validate_metrics_file",
     "validate_counter_snapshot",
+    "validate_serve_stats",
     "validate_hw_counters_file",
     "validate_bench_file",
     "require_span_coverage",
 ]
+
+#: Schema tag the ingestion service stamps on its stats embed
+#: (:meth:`repro.serve.service.IngestionService.stats_payload`).  Spelled
+#: out here rather than imported so the validators stay dependency-free.
+SERVE_SCHEMA = "repro.serve/1"
+
+#: The complete top-level key vocabulary of a ``--metrics`` file.  The
+#: validator *rejects* anything else: a typo'd or half-renamed embed key
+#: should fail CI's artifact check, not silently ride along unvalidated.
+METRICS_FILE_KEYS = ("metrics", "manifest", "hardware_counters", "serve")
 
 #: Span-name prefixes that prove the trace covered a pipeline layer.
 LAYER_PREFIXES = {
@@ -168,6 +179,12 @@ def validate_metrics_file(path: Union[str, Path]) -> dict:
             )
         if sum(counts) != count:
             raise ArtifactError(f"{where}: bucket counts {sum(counts)} != count {count}")
+    unknown = sorted(set(payload) - set(METRICS_FILE_KEYS))
+    if unknown:
+        raise ArtifactError(
+            f"{path.name}: unknown top-level key(s) {', '.join(map(repr, unknown))} "
+            f"(known: {', '.join(METRICS_FILE_KEYS)})"
+        )
     if "manifest" in payload:
         manifest = payload["manifest"]
         for key in ("schema_version", "repro_version", "seed_scheme", "config", "host"):
@@ -176,11 +193,14 @@ def validate_metrics_file(path: Union[str, Path]) -> dict:
         validate_counter_snapshot(
             payload["hardware_counters"], f"{path.name}: hardware_counters"
         )
+    if "serve" in payload:
+        validate_serve_stats(payload["serve"], f"{path.name}: serve")
     return {
         "counters": len(counters),
         "histograms": len(histograms),
         "has_manifest": "manifest" in payload,
         "has_hw_counters": "hardware_counters" in payload,
+        "has_serve": "serve" in payload,
     }
 
 
@@ -224,6 +244,45 @@ def validate_counter_snapshot(snap, where: str) -> dict:
                     f"non-negative number, got {value!r}"
                 )
     return {"counters": len(totals), "procs": len(per_proc)}
+
+
+def validate_serve_stats(embed, where: str) -> dict:
+    """Validate an ingestion-service stats embed (``--metrics`` ``serve`` key).
+
+    Shape (see :meth:`repro.serve.service.IngestionService.stats_payload`):
+    ``{"schema": "repro.serve/1", "workers": int>=1, "totals": {...},
+    "tenants": {tenant: {...}}, "latency": {pXX_ms: float>=0}}``.
+    Returns a tiny summary.
+    """
+    if not isinstance(embed, dict):
+        raise ArtifactError(f"{where}: serve stats must be an object")
+    schema = _need(embed, "schema", str, where)
+    if schema != SERVE_SCHEMA:
+        raise ArtifactError(f"{where}: schema {schema!r}, expected {SERVE_SCHEMA!r}")
+    workers = _need(embed, "workers", int, where)
+    if isinstance(workers, bool) or workers < 1:
+        raise ArtifactError(f"{where}: workers must be a positive int, got {workers!r}")
+
+    def _tallies(mapping: dict, sub_where: str) -> None:
+        for name, value in mapping.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ArtifactError(
+                    f"{sub_where}: {name!r} must be a non-negative number, got {value!r}"
+                )
+
+    totals = _need(embed, "totals", dict, where)
+    _tallies(totals, f"{where}: totals")
+    for key in ("accepted", "deferred", "rejected"):
+        if key not in totals:
+            raise ArtifactError(f"{where}: totals is missing {key!r}")
+    tenants = _need(embed, "tenants", dict, where)
+    for tenant, row in tenants.items():
+        if not isinstance(row, dict):
+            raise ArtifactError(f"{where}: tenants[{tenant!r}] must be an object")
+        _tallies(row, f"{where}: tenants[{tenant!r}]")
+    latency = _need(embed, "latency", dict, where)
+    _tallies(latency, f"{where}: latency")
+    return {"workers": workers, "tenants": len(tenants)}
 
 
 def validate_hw_counters_file(path: Union[str, Path]) -> dict:

@@ -70,6 +70,17 @@ class SampleBudget:
                 return True
         return False
 
+    def remaining(self, counts: Mapping[str, int]) -> Optional[int]:
+        """Samples left under the *total* cap, or ``None`` when uncapped.
+
+        The ingestion service (:mod:`repro.serve`) uses this to size its
+        retry-after hints: a tenant whose budget is spent is told how far
+        over it is rather than being silently throttled.  Never negative.
+        """
+        if self.max_total is None:
+            return None
+        return max(0, self.max_total - sum(counts.values()))
+
 
 @dataclass(frozen=True)
 class HookPlan:

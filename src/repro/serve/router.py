@@ -1,0 +1,95 @@
+"""Tenant → worker routing, stable across processes and restarts.
+
+The router answers one question: which estimator worker owns a tenant's
+:class:`~repro.core.online.OnlineEstimator`.  The answer must be
+
+* **stable** — the same tenant maps to the same worker for the life of a
+  topology, so its shard stream is absorbed by one estimator in order;
+* **process-independent** — derived from the tenant key through SHA-256,
+  never :func:`hash` (which is salted per process), so a restarted or
+  re-sharded service recomputes the identical assignment; and
+* **rebalance-aware** — changing the worker count yields an explicit
+  :class:`RebalancePlan` of tenants that must move, each via checkpoint
+  handoff (:meth:`repro.core.online.OnlineEstimator.checkpoint` /
+  ``resume``), so a topology change is lossless and deterministic.
+
+Pinning (:meth:`ShardRouter.pin`) overrides the hash for individual
+tenants; the drain path uses it to move a tenant off a worker without
+touching anything else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+from repro.serve.protocol import TenantKey
+
+__all__ = ["ShardRouter", "RebalancePlan"]
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """Which tenants move where when the topology changes."""
+
+    n_workers: int
+    moves: tuple[tuple[TenantKey, int, int], ...]  # (tenant, old worker, new worker)
+
+
+def _stable_worker(tenant: TenantKey, n_workers: int) -> int:
+    digest = hashlib.sha256(
+        f"{tenant.deployment_id}\x00{tenant.program_version}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little") % n_workers
+
+
+class ShardRouter:
+    """Stable hash routing with explicit pins for drained tenants."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ServeError(f"router needs >= 1 worker, got {n_workers}")
+        self.n_workers = n_workers
+        self._pins: dict[TenantKey, int] = {}
+
+    def worker_for(self, tenant: TenantKey) -> int:
+        """The worker index owning ``tenant`` under the current topology."""
+        pinned = self._pins.get(tenant)
+        if pinned is not None:
+            return pinned
+        return _stable_worker(tenant, self.n_workers)
+
+    def pin(self, tenant: TenantKey, worker: int) -> None:
+        """Force ``tenant`` onto ``worker`` (used by drain/handoff)."""
+        if not 0 <= worker < self.n_workers:
+            raise ServeError(
+                f"cannot pin {tenant} to worker {worker}; topology has "
+                f"{self.n_workers} worker(s)"
+            )
+        self._pins[tenant] = worker
+
+    def plan_rebalance(
+        self, n_workers: int, tenants: list[TenantKey]
+    ) -> RebalancePlan:
+        """The moves required to go from this topology to ``n_workers``.
+
+        Pins are dropped by a rebalance — the new topology's stable hash is
+        the single source of truth again — so the plan compares each
+        tenant's *current* worker (pins included) with its hash under the
+        new count.
+        """
+        if n_workers < 1:
+            raise ServeError(f"cannot rebalance to {n_workers} workers")
+        moves = []
+        for tenant in sorted(tenants):
+            old = self.worker_for(tenant)
+            new = _stable_worker(tenant, n_workers)
+            if old != new or self.n_workers != n_workers:
+                moves.append((tenant, old, new))
+        return RebalancePlan(n_workers=n_workers, moves=tuple(moves))
+
+    def apply(self, plan: RebalancePlan) -> None:
+        """Adopt a plan's topology: new worker count, pins cleared."""
+        self.n_workers = plan.n_workers
+        self._pins.clear()

@@ -1,0 +1,470 @@
+"""The ingestion service: fleet uploads in, estimates out.
+
+:class:`IngestionService` is the tentpole of :mod:`repro.serve` — a
+single-process asyncio service that accepts timing-shard uploads from
+(simulated) motes, routes them by tenant
+(:class:`~repro.serve.protocol.TenantKey`) to a pool of
+:class:`~repro.serve.worker.EstimatorWorker` tasks, micro-batches
+absorption, and answers queries with per-procedure estimates and Wald CI
+half-widths.
+
+The design splits hot-path decisions from absorption:
+
+* :meth:`submit` runs synchronously inside the event loop — parse already
+  done, it checks the tenant's :class:`~repro.profiling.budget.SampleBudget`
+  and backlog cap, buffers the shard in the service-level
+  :class:`~repro.serve.batcher.MicroBatcher`, and answers with a
+  :class:`~repro.serve.protocol.Receipt` immediately.  Budget or backlog
+  pressure yields ``deferred`` (with ``retry_after_s``) — **deferral, not
+  drop**: the shard is not absorbed, the estimator is untouched, and the
+  mote is told to retry.
+* Full batches are enqueued to the owning worker's FIFO queue; worker tasks
+  absorb them (one EM sweep per batch) off the hot path.
+
+**Determinism.**  Budget verdicts and batch composition are decided at
+submit time from counters the service updates synchronously, so they are a
+pure function of the upload order — never of worker scheduling.  (Backlog
+deferral is the exception by design: it reflects live absorption lag.)  Each
+tenant's batches are absorbed FIFO by exactly one worker, and absorption
+order *across* tenants doesn't matter (estimators are per-tenant).  Hence
+the same upload sequence yields bit-identical estimates at any worker
+count, and :meth:`rebalance` — checkpoint handoff mid-stream — changes
+nothing: pending shards stay in the service-level batcher (batch boundaries
+survive the move), and the estimator continues from its checkpoint
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.online import OnlineOptions
+from repro.errors import ProtocolError, ServeError
+from repro.ir.program import Program
+from repro.mote.platform import Platform
+from repro.placement.layout import ProgramLayout
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    QueryRequest,
+    Receipt,
+    ShardUpload,
+    StatsRequest,
+    TenantKey,
+    error_response,
+    parse_request_line,
+)
+from repro.serve.query import TenantEstimate, snapshot_estimate
+from repro.serve.router import ShardRouter
+from repro.serve.worker import AbsorbResult, EstimatorWorker
+
+__all__ = ["ServiceConfig", "TenantStats", "IngestionService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing knobs for one :class:`IngestionService`.
+
+    ``flush_interval_s=None`` disables the age trigger entirely — batches
+    release on count alone (plus the end-of-stream drain), which is the
+    fully deterministic mode the tests and benchmarks use.  ``max_backlog``
+    caps each tenant's unabsorbed shards (buffered + queued); beyond it,
+    uploads defer.
+    """
+
+    n_workers: int = 1
+    max_batch: int = 8
+    flush_interval_s: Optional[float] = None
+    max_backlog: int = 256
+    retry_after_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ServeError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.max_backlog < 1:
+            raise ServeError(f"max_backlog must be >= 1, got {self.max_backlog}")
+        if self.flush_interval_s is not None and self.flush_interval_s <= 0:
+            raise ServeError(
+                f"flush_interval_s must be positive or None, got {self.flush_interval_s}"
+            )
+        if self.retry_after_s <= 0:
+            raise ServeError(f"retry_after_s must be positive, got {self.retry_after_s}")
+
+
+@dataclass
+class TenantStats:
+    """Always-on per-tenant ingest tallies (plain ints, no obs dependency)."""
+
+    accepted: int = 0
+    deferred: int = 0
+    samples: int = 0
+    batches: int = 0
+
+
+@dataclass
+class _Registration:
+    program: Program
+    platform: Platform
+    options: OnlineOptions
+    layout: Optional[ProgramLayout]
+    accepted_counts: dict[str, int] = field(default_factory=dict)
+    in_flight: int = 0
+
+
+class IngestionService:
+    """Routes, batches and absorbs a fleet's timing shards.  See module doc."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self._router = ShardRouter(self.config.n_workers)
+        self._workers = [
+            EstimatorWorker(i, clock) for i in range(self.config.n_workers)
+        ]
+        self._queues: list[asyncio.Queue] = []
+        self._tasks: list[asyncio.Task] = []
+        self._flusher: Optional[asyncio.Task] = None
+        self._batcher = MicroBatcher(self.config.max_batch)
+        self._registry: dict[TenantKey, _Registration] = {}
+        self._tenant_stats: dict[TenantKey, TenantStats] = {}
+        self._latencies: list[float] = []
+        self._rejected = 0
+        self._queries = 0
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (and the flusher, if age-flushing is on)."""
+        if self._started:
+            raise ServeError("service already started")
+        self._queues = [asyncio.Queue() for _ in self._workers]
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(worker, queue))
+            for worker, queue in zip(self._workers, self._queues)
+        ]
+        if self.config.flush_interval_s is not None:
+            self._flusher = asyncio.create_task(self._flush_loop())
+        self._started = True
+
+    async def stop(self) -> None:
+        """Drain everything, then tear the tasks down."""
+        if not self._started:
+            return
+        await self.drain()
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        for queue in self._queues:
+            queue.put_nowait(None)
+        await asyncio.gather(*self._tasks)
+        self._tasks = []
+        self._queues = []
+        self._started = False
+
+    async def __aenter__(self) -> "IngestionService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- tenants ------------------------------------------------------------
+
+    def register_tenant(
+        self,
+        deployment_id: str,
+        program_version: str,
+        program: Program,
+        platform: Platform,
+        options: Optional[OnlineOptions] = None,
+        layout: Optional[ProgramLayout] = None,
+    ) -> TenantKey:
+        """Open an estimator stream for one ``(deployment, version)`` pair."""
+        tenant = TenantKey(deployment_id, program_version)
+        if tenant in self._registry:
+            raise ServeError(f"tenant {tenant} already registered")
+        opts = options or OnlineOptions()
+        self._registry[tenant] = _Registration(
+            program=program, platform=platform, options=opts, layout=layout
+        )
+        self._tenant_stats[tenant] = TenantStats()
+        worker = self._workers[self._router.worker_for(tenant)]
+        worker.adopt(tenant, program, platform, options=opts, layout=layout)
+        obs.inc("serve.tenants_registered")
+        return tenant
+
+    @property
+    def tenants(self) -> tuple[TenantKey, ...]:
+        return tuple(sorted(self._registry))
+
+    def _registration(self, tenant: TenantKey) -> _Registration:
+        registration = self._registry.get(tenant)
+        if registration is None:
+            raise ProtocolError("unknown-tenant", f"no tenant {tenant} registered")
+        return registration
+
+    # -- ingest hot path ----------------------------------------------------
+
+    async def submit(self, upload: ShardUpload) -> Receipt:
+        """Accept or defer one shard; never blocks on absorption.
+
+        Raises :class:`~repro.errors.ProtocolError` (``unknown-tenant``)
+        for unregistered tenants — a routing failure, not a receipt.
+        """
+        self._require_started()
+        tenant = upload.tenant
+        registration = self._registration(tenant)
+        stats = self._tenant_stats[tenant]
+        with obs.span(
+            "serve.ingest", tenant=str(tenant), mote=upload.mote_id, seq=upload.seq
+        ):
+            budget = registration.options.budget
+            if budget is not None and budget.exhausted(registration.accepted_counts):
+                return self._defer(tenant, stats, "budget-exhausted")
+            if registration.in_flight >= self.config.max_backlog:
+                return self._defer(tenant, stats, "backlog-full")
+            for name, xs in upload.samples.items():
+                registration.accepted_counts[name] = registration.accepted_counts.get(
+                    name, 0
+                ) + int(xs.size)
+            registration.in_flight += 1
+            stats.accepted += 1
+            stats.samples += upload.n_samples
+            obs.inc("serve.shards_accepted")
+            obs.inc(f"serve.tenant.{tenant}.accepted")
+            batch = self._batcher.add(upload, self._clock())
+        if batch is not None:
+            self._enqueue(tenant, batch)
+            # Yield once so the owning worker can start on the batch now
+            # rather than after the submit burst — keeps ingest latency
+            # honest and the backlog bounded under sustained load.
+            await asyncio.sleep(0)
+        return Receipt(
+            status="accepted", tenant=tenant, pending=registration.in_flight
+        )
+
+    def _defer(self, tenant: TenantKey, stats: TenantStats, reason: str) -> Receipt:
+        stats.deferred += 1
+        obs.inc("serve.shards_deferred")
+        obs.inc(f"serve.tenant.{tenant}.deferred")
+        return Receipt(
+            status="deferred",
+            tenant=tenant,
+            pending=self._registry[tenant].in_flight,
+            reason=reason,
+            retry_after_s=self.config.retry_after_s,
+        )
+
+    def _enqueue(self, tenant: TenantKey, batch) -> None:
+        self._queues[self._router.worker_for(tenant)].put_nowait((tenant, batch))
+
+    async def _worker_loop(self, worker: EstimatorWorker, queue: asyncio.Queue) -> None:
+        while True:
+            job = await queue.get()
+            try:
+                if job is None:
+                    return
+                tenant, batch = job
+                self._record(worker.absorb(tenant, batch))
+            finally:
+                queue.task_done()
+
+    def _record(self, result: AbsorbResult) -> None:
+        registration = self._registry[result.tenant]
+        registration.in_flight -= result.n_shards
+        stats = self._tenant_stats[result.tenant]
+        stats.batches += 1
+        self._latencies.extend(result.latencies_s)
+
+    async def _flush_loop(self) -> None:
+        interval = self.config.flush_interval_s
+        assert interval is not None
+        while True:
+            await asyncio.sleep(interval)
+            for tenant, batch in self._batcher.take_aged(self._clock(), interval):
+                self._enqueue(tenant, batch)
+
+    async def drain(self) -> None:
+        """Flush every buffered shard and wait for all absorption to finish."""
+        self._require_started()
+        for tenant, batch in self._batcher.take_all():
+            self._enqueue(tenant, batch)
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ServeError("service not started (use `async with` or start())")
+
+    # -- queries / stats ----------------------------------------------------
+
+    def query(self, tenant: TenantKey) -> TenantEstimate:
+        """The tenant's estimate as of the last absorbed batch."""
+        self._registration(tenant)
+        self._queries += 1
+        with obs.span("serve.query", tenant=str(tenant)):
+            estimator = self._workers[self._router.worker_for(tenant)].estimator(tenant)
+            snapshot = snapshot_estimate(
+                tenant, estimator, pending=self._registry[tenant].in_flight
+            )
+        obs.inc("serve.queries")
+        return snapshot
+
+    def count_rejected(self) -> None:
+        """Tally one structurally rejected request (protocol violation)."""
+        self._rejected += 1
+        obs.inc("serve.shards_rejected")
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """Ingest latency (submit → absorbed) percentiles over all shards."""
+        if not self._latencies:
+            return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        lat = np.asarray(self._latencies, dtype=float) * 1e3
+        return {
+            "p50_ms": float(np.percentile(lat, 50)),
+            "p90_ms": float(np.percentile(lat, 90)),
+            "p99_ms": float(np.percentile(lat, 99)),
+            "max_ms": float(lat.max()),
+        }
+
+    def stats_payload(self) -> dict:
+        """The ``stats`` wire response (also the metrics-file serve embed)."""
+        tenants = {}
+        for tenant in sorted(self._tenant_stats):
+            stats = self._tenant_stats[tenant]
+            tenants[str(tenant)] = {
+                "accepted": stats.accepted,
+                "deferred": stats.deferred,
+                "samples": stats.samples,
+                "batches": stats.batches,
+            }
+        totals = {
+            "accepted": sum(s.accepted for s in self._tenant_stats.values()),
+            "deferred": sum(s.deferred for s in self._tenant_stats.values()),
+            "rejected": self._rejected,
+            "samples": sum(s.samples for s in self._tenant_stats.values()),
+            "batches": sum(s.batches for s in self._tenant_stats.values()),
+            "queries": self._queries,
+        }
+        return {
+            "op": "stats",
+            "schema": PROTOCOL_VERSION,
+            "workers": self._router.n_workers,
+            "totals": totals,
+            "tenants": tenants,
+            "latency": self.latency_percentiles(),
+        }
+
+    # -- rebalance / handoff ------------------------------------------------
+
+    async def rebalance(self, n_workers: int) -> int:
+        """Re-shard to ``n_workers`` via lossless checkpoint handoff.
+
+        Queued absorption finishes first (so every checkpoint reflects all
+        released batches), then each moving tenant's estimator is
+        checkpointed on its old worker and resumed on its new one.  Shards
+        still buffered in the batcher are untouched — batch boundaries
+        survive, which is what keeps the post-rebalance trajectory
+        bit-identical to an uninterrupted run.  Returns the number of
+        tenants moved.
+        """
+        self._require_started()
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+        plan = self._router.plan_rebalance(n_workers, list(self._registry))
+        handoffs = []
+        for tenant, old, _new in plan.moves:
+            runtime, checkpoint = self._workers[old].release(tenant)
+            handoffs.append((tenant, runtime, checkpoint))
+        if n_workers > len(self._workers):
+            self._workers.extend(
+                EstimatorWorker(i, self._clock)
+                for i in range(len(self._workers), n_workers)
+            )
+            for _ in range(n_workers - len(self._queues)):
+                queue: asyncio.Queue = asyncio.Queue()
+                self._queues.append(queue)
+                self._tasks.append(
+                    asyncio.create_task(
+                        self._worker_loop(self._workers[len(self._queues) - 1], queue)
+                    )
+                )
+        elif n_workers < len(self._workers):
+            for index in range(n_workers, len(self._workers)):
+                if self._workers[index].tenants:
+                    raise ServeError(
+                        f"worker {index} still owns tenants after planning"
+                    )
+                self._queues[index].put_nowait(None)
+            await asyncio.gather(*self._tasks[n_workers:])
+            self._workers = self._workers[:n_workers]
+            self._queues = self._queues[:n_workers]
+            self._tasks = self._tasks[:n_workers]
+        self._router.apply(plan)
+        for tenant, runtime, checkpoint in handoffs:
+            self._workers[self._router.worker_for(tenant)].adopt(
+                tenant,
+                runtime.program,
+                runtime.platform,
+                options=runtime.options,
+                layout=runtime.layout,
+                checkpoint=checkpoint,
+            )
+        obs.inc("serve.rebalances")
+        obs.inc("serve.tenants_moved", len(handoffs))
+        return len(handoffs)
+
+    # -- wire protocol ------------------------------------------------------
+
+    async def handle_line(self, line: str) -> dict:
+        """Serve one JSONL request; every outcome is a JSON-able response."""
+        try:
+            request = parse_request_line(line)
+        except ProtocolError as exc:
+            self.count_rejected()
+            return error_response(exc)
+        try:
+            if isinstance(request, ShardUpload):
+                return (await self.submit(request)).to_json()
+            if isinstance(request, QueryRequest):
+                return self.query(request.tenant).to_json()
+            assert isinstance(request, StatsRequest)
+            return self.stats_payload()
+        except ProtocolError as exc:
+            self.count_rejected()
+            return error_response(exc)
+
+    async def serve_stream(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One JSONL connection: request line in, response line out.
+
+        Pass this to :func:`asyncio.start_server` to expose the service on
+        a socket; the load generator drives :meth:`submit` in-process
+        instead (same code path minus the transport).
+        """
+        from repro.serve.protocol import encode
+
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                response = await self.handle_line(raw.decode("utf-8"))
+                writer.write((encode(response) + "\n").encode("utf-8"))
+                await writer.drain()
+        finally:
+            writer.close()

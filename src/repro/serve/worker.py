@@ -1,0 +1,163 @@
+"""Estimator workers: the absorption half of the ingestion service.
+
+Each worker owns the :class:`~repro.core.online.OnlineEstimator` instances
+of the tenants routed to it and does exactly one thing with them: absorb
+released micro-batches via
+:meth:`~repro.core.online.OnlineEstimator.absorb_batch` (one warm-started
+EM sweep per batch).  Everything stateful about a tenant lives in its
+estimator, which is why worker topology is invisible in the output —
+moving a tenant between workers is
+:meth:`~repro.core.online.OnlineEstimator.checkpoint` on one side and
+``resume`` on the other, and the estimate continues bit-for-bit.
+
+Workers are plain synchronous objects; the service's asyncio loop decides
+*when* they run.  That keeps every absorption observable (``serve.absorb``
+spans, per-batch latency histograms) and testable without an event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import obs
+from repro.core.online import (
+    OnlineCheckpoint,
+    OnlineEstimator,
+    OnlineOptions,
+    ShardEstimate,
+)
+from repro.errors import ServeError
+from repro.ir.program import Program
+from repro.mote.platform import Platform
+from repro.placement.layout import ProgramLayout
+from repro.serve.batcher import PendingShard
+from repro.serve.protocol import TenantKey
+
+__all__ = ["TenantRuntime", "AbsorbResult", "EstimatorWorker"]
+
+
+@dataclass
+class TenantRuntime:
+    """One tenant's estimator plus the bindings needed to rebuild it."""
+
+    program: Program
+    platform: Platform
+    options: OnlineOptions
+    layout: Optional[ProgramLayout]
+    estimator: OnlineEstimator
+
+
+@dataclass(frozen=True)
+class AbsorbResult:
+    """What one micro-batch absorption produced."""
+
+    tenant: TenantKey
+    point: ShardEstimate
+    n_shards: int
+    n_samples: int
+    latencies_s: tuple[float, ...]  # submit -> absorbed, per shard in the batch
+
+
+class EstimatorWorker:
+    """Owns per-tenant estimators and absorbs their micro-batches."""
+
+    def __init__(
+        self, index: int, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.index = index
+        self._clock = clock
+        self._tenants: dict[TenantKey, TenantRuntime] = {}
+
+    # -- tenant lifecycle ---------------------------------------------------
+
+    def adopt(
+        self,
+        tenant: TenantKey,
+        program: Program,
+        platform: Platform,
+        options: Optional[OnlineOptions] = None,
+        layout: Optional[ProgramLayout] = None,
+        checkpoint: Optional[OnlineCheckpoint] = None,
+    ) -> None:
+        """Start (or, given a checkpoint, continue) serving ``tenant`` here."""
+        if tenant in self._tenants:
+            raise ServeError(f"worker {self.index} already serves {tenant}")
+        opts = options or OnlineOptions()
+        if checkpoint is not None:
+            estimator = OnlineEstimator.resume(
+                program, platform, checkpoint, options=opts, layout=layout
+            )
+        else:
+            estimator = OnlineEstimator(program, platform, options=opts, layout=layout)
+        self._tenants[tenant] = TenantRuntime(
+            program=program,
+            platform=platform,
+            options=opts,
+            layout=layout,
+            estimator=estimator,
+        )
+
+    def release(self, tenant: TenantKey) -> tuple[TenantRuntime, OnlineCheckpoint]:
+        """Stop serving ``tenant``; return its bindings + final checkpoint.
+
+        The pair is everything the next worker's :meth:`adopt` needs for a
+        lossless handoff.
+        """
+        runtime = self._tenants.pop(tenant, None)
+        if runtime is None:
+            raise ServeError(f"worker {self.index} does not serve {tenant}")
+        return runtime, runtime.estimator.checkpoint()
+
+    def owns(self, tenant: TenantKey) -> bool:
+        return tenant in self._tenants
+
+    @property
+    def tenants(self) -> tuple[TenantKey, ...]:
+        return tuple(sorted(self._tenants))
+
+    def estimator(self, tenant: TenantKey) -> OnlineEstimator:
+        runtime = self._tenants.get(tenant)
+        if runtime is None:
+            raise ServeError(f"worker {self.index} does not serve {tenant}")
+        return runtime.estimator
+
+    # -- absorption ---------------------------------------------------------
+
+    def absorb(self, tenant: TenantKey, batch: list[PendingShard]) -> AbsorbResult:
+        """Fold one released micro-batch into ``tenant``'s estimator.
+
+        One :meth:`~repro.core.online.OnlineEstimator.absorb_batch` call —
+        i.e. one EM sweep — regardless of batch size; the ``serve.absorb``
+        span and the ``serve.absorb_latency_s`` histogram carry the cost.
+        """
+        runtime = self._tenants.get(tenant)
+        if runtime is None:
+            raise ServeError(f"worker {self.index} does not serve {tenant}")
+        if not batch:
+            raise ServeError(f"empty micro-batch for {tenant}")
+        shards = [pending.upload.samples for pending in batch]
+        n_samples = sum(pending.upload.n_samples for pending in batch)
+        with obs.span(
+            "serve.absorb",
+            tenant=str(tenant),
+            worker=self.index,
+            shards=len(batch),
+            samples=n_samples,
+        ) as handle:
+            point = runtime.estimator.absorb_batch(shards)
+            handle.set(em_iterations=point.em_iterations, converged=point.converged)
+        done = self._clock()
+        latencies = tuple(done - pending.submitted_at for pending in batch)
+        obs.inc("serve.batches_absorbed")
+        obs.observe("serve.batch_size", float(len(batch)))
+        for latency in latencies:
+            obs.observe("serve.absorb_latency_s", latency)
+        return AbsorbResult(
+            tenant=tenant,
+            point=point,
+            n_shards=len(batch),
+            n_samples=n_samples,
+            latencies_s=latencies,
+        )

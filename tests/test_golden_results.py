@@ -25,9 +25,12 @@ from repro.experiments.common import ExperimentConfig
 from repro.util.tables import Table
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
-# obs.txt records telemetry overhead ratios (wall-clock, host-dependent) —
-# it is not a seed-determined render and cannot be pinned byte-for-byte.
-GOLDEN_FILES = sorted(p for p in RESULTS_DIR.glob("*.txt") if p.stem != "obs")
+# obs.txt (telemetry overhead ratios) and serve.txt (ingest throughput +
+# latency percentiles) record wall-clock, host-dependent numbers — they are
+# not seed-determined renders and cannot be pinned byte-for-byte.
+GOLDEN_FILES = sorted(
+    p for p in RESULTS_DIR.glob("*.txt") if p.stem not in ("obs", "serve")
+)
 GOLDEN_CONFIG = ExperimentConfig(activations=3000, seed=2015, quick=False)
 
 

@@ -417,6 +417,71 @@ class TestValidators:
         with pytest.raises(ArtifactError, match="buckets"):
             validate_metrics_file(path)
 
+    def test_metrics_validator_rejects_unknown_top_level_keys(self, tmp_path):
+        # Regression: the serve embed landed as a new top-level key; the
+        # validator must know the full vocabulary and reject strays instead
+        # of silently ignoring them.
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+                    "serve_stats": {},  # half-renamed embed key
+                }
+            )
+        )
+        with pytest.raises(ArtifactError, match="unknown top-level"):
+            validate_metrics_file(path)
+
+    def test_metrics_validator_accepts_and_checks_serve_embed(self, tmp_path):
+        serve = {
+            "op": "stats",
+            "schema": "repro.serve/1",
+            "workers": 2,
+            "totals": {"accepted": 10, "deferred": 1, "rejected": 0},
+            "tenants": {"site-0@1.0": {"accepted": 10, "deferred": 1}},
+            "latency": {"p50_ms": 1.0, "p99_ms": 4.0},
+        }
+        path = tmp_path / "metrics.json"
+        payload = {
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            "serve": serve,
+        }
+        path.write_text(json.dumps(payload))
+        summary = validate_metrics_file(path)
+        assert summary["has_serve"] is True
+
+        bad = dict(serve, schema="repro.serve/999")
+        path.write_text(json.dumps({**payload, "serve": bad}))
+        with pytest.raises(ArtifactError, match="schema"):
+            validate_metrics_file(path)
+
+        bad = {key: value for key, value in serve.items() if key != "totals"}
+        path.write_text(json.dumps({**payload, "serve": bad}))
+        with pytest.raises(ArtifactError, match="totals"):
+            validate_metrics_file(path)
+
+        bad = dict(serve, totals={"accepted": -1, "deferred": 0, "rejected": 0})
+        path.write_text(json.dumps({**payload, "serve": bad}))
+        with pytest.raises(ArtifactError, match="non-negative"):
+            validate_metrics_file(path)
+
+    def test_write_metrics_serve_embed_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("serve.shards_accepted").inc(3)
+        serve = {
+            "op": "stats",
+            "schema": "repro.serve/1",
+            "workers": 1,
+            "totals": {"accepted": 3, "deferred": 0, "rejected": 0},
+            "tenants": {},
+            "latency": {"p99_ms": 0.5},
+        }
+        path = write_metrics(tmp_path / "m.json", registry, serve=serve)
+        summary = validate_metrics_file(path)
+        assert summary["has_serve"] is True
+        assert json.loads(path.read_text())["serve"]["workers"] == 1
+
     def test_span_coverage_requires_all_layers(self):
         with pytest.raises(ArtifactError, match="estimator"):
             require_span_coverage({"experiment", "sim.run"})
