@@ -1,13 +1,34 @@
-"""F4 — regenerate the misprediction-rate-by-placement figure."""
+"""F4 — regenerate the misprediction-rate-by-placement figure.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, CI's bench-track gate) parametrizes
+the run over both execution engines via :data:`~repro.sim.ENGINE_ENV_VAR`,
+so the tracked counter snapshots pin each engine separately
+(``benchmarks/results/counters/test_f4...[vectorized].json`` vs
+``...[scalar].json`` — the two must stay bit-identical to each other, and
+the differential suite holds them to it).  The full-size golden run keeps
+the driver's own ``auto`` dispatch, exactly what a user gets.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+import pytest
 
 from repro.experiments import fig_f4_mispredict
+from repro.sim import ENGINE_ENV_VAR
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+ENGINES = ("vectorized", "scalar") if _QUICK else ("auto",)
 
 
-def test_f4_mispredict_by_placement(benchmark, experiment_config, save_result):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_f4_mispredict_by_placement(
+    benchmark, experiment_config, save_result, monkeypatch, engine
+):
+    if engine != "auto":
+        monkeypatch.setenv(ENGINE_ENV_VAR, engine)
     result = benchmark.pedantic(
         fig_f4_mispredict.run, args=(experiment_config,), rounds=1, iterations=1
     )

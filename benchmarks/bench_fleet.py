@@ -1,0 +1,93 @@
+"""Fleet — vectorized batch simulation versus the scalar oracle.
+
+The tentpole claim of :mod:`repro.sim.vectorized`: a fleet-sized batched
+run (thousands of motes of one program) is an order of magnitude faster
+than the scalar per-batch sweep *while staying bit-identical to it*.  This
+benchmark measures both engines on the same fleet, asserts the merged
+results are equal, and asserts the speedup floor (≥10× at full size on the
+best workload; a loose ≥2× floor in quick mode, where fleets are small and
+shared CI runners are noisy).  The tracked pytest-benchmark number is the
+vectorized run; the rendered table also records the scalar time and the
+ratio.  ``results/fleet.txt`` holds wall-clock values, so it is excluded
+from the byte-for-byte golden pinning (like ``obs.txt`` / ``serve.txt``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+from repro.experiments.common import ExperimentResult
+from repro.mote import MICAZ_LIKE
+from repro.sim import run_program_batched
+from repro.util.tables import Table
+from repro.workloads.inputs import build_sensors
+from repro.workloads.registry import workload_by_name
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+# (workload, activations, batch_size): each batch is one mote of the fleet.
+FLEETS = (
+    ("tinydb-agg", 2048 if _QUICK else 16384, 8),
+    ("surge", 2048 if _QUICK else 16384, 8),
+)
+SPEEDUP_FLOOR = 2.0 if _QUICK else 10.0
+
+
+def _run(spec, engine, activations, batch_size):
+    factory = partial(build_sensors, dict(spec.channels), "default")
+    start = time.perf_counter()
+    result = run_program_batched(
+        spec.program(),
+        MICAZ_LIKE,
+        factory,
+        activations=activations,
+        batch_size=batch_size,
+        rng=2015,
+        engine=engine,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_fleet_vectorized_speedup(benchmark, save_result):
+    table = Table(
+        "Fleet: vectorized batch engine vs scalar oracle",
+        ["workload", "motes", "activations", "scalar_s", "vector_s", "speedup"],
+        digits=3,
+    )
+    speedups = []
+
+    def vector_pass():
+        return [
+            _run(workload_by_name(name), "vectorized", acts, bs)
+            for name, acts, bs in FLEETS
+        ]
+
+    # The tracked number is the full vectorized pass over every fleet.
+    vector_runs = benchmark.pedantic(vector_pass, rounds=1, iterations=1)
+    for (name, acts, bs), (v_result, v_time) in zip(FLEETS, vector_runs):
+        spec = workload_by_name(name)
+        s_result, s_time = _run(spec, "scalar", acts, bs)
+        # The speedup only counts because the answers are the same answer.
+        assert s_result == v_result, f"{name}: engines diverged"
+        speedup = s_time / v_time
+        speedups.append(speedup)
+        table.add_row(name, acts // bs, acts, s_time, v_time, speedup)
+
+    save_result(
+        ExperimentResult(
+            experiment_id="fleet",
+            title="vectorized fleet speedup over the scalar oracle",
+            tables=[table],
+            series={"workload": [f[0] for f in FLEETS], "speedup": speedups},
+            notes=[
+                "Engines asserted bit-identical on every fleet before timing "
+                "is reported; wall-clock values are host-dependent."
+            ],
+        )
+    )
+    assert max(speedups) >= SPEEDUP_FLOOR, (
+        f"vectorized speedup {max(speedups):.1f}x under the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )

@@ -24,8 +24,9 @@ from repro.experiments.common import (
 from repro.mote.predictor import AlwaysNotTakenPredictor, BTFNPredictor
 from repro.obs import counters as hwc
 from repro.placement import optimize_program_layout, random_program_layout
-from repro.sim import run_program
+from repro.sim import run_program_batched
 from repro.util.tables import Table
+from repro.workloads.inputs import build_sensors
 from repro.workloads.registry import all_workloads, workload_by_name
 
 __all__ = ["run", "pair_unit", "STRATEGIES", "PREDICTOR_KEYS"]
@@ -58,21 +59,25 @@ def pair_unit(pair: tuple[str, str], config: ExperimentConfig) -> UnitResult:
         "oracle": optimize_program_layout(profile_data.program, profile_data.truth),
     }
     unit = UnitResult()
+    factory = partial(build_sensors, dict(spec.channels), config.scenario)
     for strategy in STRATEGIES:
-        sensors = spec.sensors(
-            scenario=config.scenario, rng=config.seed + 1000  # fresh inputs
-        )
         # The evaluation reads its rates off the hardware counters — the
         # same registers a deployed mote would report — rather than the
         # simulator's ground-truth bookkeeping.  A per-strategy registry
         # takes a clean delta; counts still fold into any ambient registry
-        # (e.g. the CLI's --counters aggregate) on exit.
+        # (e.g. the CLI's --counters aggregate) on exit.  Evaluation is a
+        # fleet, not a single mote: batched over fresh input streams, it
+        # rides the vectorized engine wherever the program is eligible
+        # (REPRO_SIM_ENGINE forces either engine; results are bit-identical
+        # both ways).
         with hwc.counters_active(hwc.HardwareCounters()) as hw:
-            run_program(
+            run_program_batched(
                 profile_data.program,
                 predictor_config.platform,
-                sensors,
+                factory,
                 activations=predictor_config.effective_activations,
+                batch_size=8,
+                rng=config.seed + 1000,  # fresh inputs
                 layout=layouts[strategy],
             )
         snap = hw.snapshot()

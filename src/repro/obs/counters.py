@@ -95,6 +95,17 @@ class HardwareCounters:
             row = self.per_proc.setdefault(self._proc_stack[-1], {})
             row[key] = row.get(key, 0) + amount
 
+    def add_proc(self, proc: str, key: str, amount: Number) -> None:
+        """Attribute ``amount`` to ``proc``'s row directly (no open scope).
+
+        The scalar interpreter attributes through the
+        :meth:`push_proc`/:meth:`pop_proc` stack; batch engines that execute
+        whole cohorts of one procedure at a time know the procedure
+        statically and attribute here, producing the same rows.
+        """
+        row = self.per_proc.setdefault(proc, {})
+        row[key] = row.get(key, 0) + amount
+
     # -- procedure attribution (driven by the interpreter) -------------------
 
     def push_proc(self, name: str) -> None:

@@ -16,11 +16,13 @@ Two entry points:
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.errors import SimulationError
 from repro.obs import counters as hwc
 from repro.faults.model import FaultInjector, FaultModel
 from repro.mote.platform import Platform
@@ -29,6 +31,7 @@ from repro.ir.program import Program
 from repro.placement.layout import ProgramLayout
 from repro.sim.interpreter import Interpreter
 from repro.sim.trace import ExecutionCounters, InvocationRecord, RunResult
+from repro.sim.vectorized import run_motes_merged, vectorize_eligible
 from repro.util.rng import RngSource, spawn_seed_sequences
 
 __all__ = [
@@ -36,7 +39,16 @@ __all__ = [
     "run_program_batched",
     "split_activations",
     "merge_run_results",
+    "resolve_engine",
+    "ENGINE_ENV_VAR",
 ]
+
+#: Environment override for the batched driver's engine choice — set to
+#: ``"scalar"`` or ``"vectorized"`` to force one engine on every
+#: ``engine="auto"`` call (benchmarks and CI use this to exercise both).
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+_ENGINES = ("auto", "scalar", "vectorized")
 
 SensorFactory = Callable[[np.random.Generator], SensorSuite]
 
@@ -219,6 +231,96 @@ def _run_batch(
         )
 
 
+def resolve_engine(engine: str, program: Program) -> str:
+    """Decide which engine a batched run uses (``"scalar"``/``"vectorized"``).
+
+    ``engine="auto"`` (the default everywhere) consults the
+    :data:`ENGINE_ENV_VAR` environment override first, then picks the
+    vectorized engine whenever :func:`vectorize_eligible` accepts the
+    program, falling back to the scalar oracle otherwise.  Requesting
+    ``"vectorized"`` explicitly for an ineligible program is a loud
+    :class:`SimulationError` — silent fallback would invalidate a
+    differential test that believes it exercised the vector path.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "auto":
+        override = os.environ.get(ENGINE_ENV_VAR, "")
+        if override:
+            if override not in ("scalar", "vectorized"):
+                raise SimulationError(
+                    f"{ENGINE_ENV_VAR} must be 'scalar' or 'vectorized', "
+                    f"got {override!r}"
+                )
+            engine = override
+    if engine == "auto":
+        return "scalar" if vectorize_eligible(program) is not None else "vectorized"
+    if engine == "vectorized":
+        reason = vectorize_eligible(program)
+        if reason is not None:
+            raise SimulationError(
+                f"program {program.name!r} is not vectorizable: {reason}"
+            )
+    return engine
+
+
+def _run_batches_vectorized(
+    program: Program,
+    platform: Platform,
+    sensor_factory: SensorFactory,
+    seqs: Sequence[np.random.SeedSequence],
+    sizes: Sequence[int],
+    layout: Optional[ProgramLayout],
+    record_paths: bool,
+    fault_model: Optional[FaultModel],
+) -> RunResult:
+    """Run every batch as one mote of a vectorized fleet, merged.
+
+    Peripheral construction mirrors :func:`_run_batch` exactly — sensors
+    from the batch's seed sequence, the injector from a spawned child — so
+    batch ``i`` sees the same random streams on either engine.  The fleet
+    assembles the merged result directly (no per-batch intermediates);
+    :func:`repro.sim.vectorized.run_motes_merged` guarantees it equals the
+    scalar path's ``merge_run_results`` output bit for bit.
+    """
+    suites = []
+    injectors = []
+    for seq in seqs:
+        suites.append(sensor_factory(np.random.default_rng(seq)))
+        if fault_model is not None and fault_model.enabled:
+            injectors.append(FaultInjector(fault_model, seq.spawn(1)[0]))
+        else:
+            injectors.append(None)
+    with obs.span(
+        "sim.vector_run",
+        program=program.name,
+        motes=len(sizes),
+        activations=sum(sizes),
+    ) as span:
+        merged = run_motes_merged(
+            program,
+            platform,
+            suites,
+            sizes,
+            layout=layout,
+            record_paths=record_paths,
+            fault_injectors=injectors,
+        )
+        span.set(cycles=merged.total_cycles, records=len(merged.records))
+    # Metric parity with the scalar per-batch path: the same counters end
+    # at the same values (inc(name, n) == n inc(name) calls).
+    obs.inc("sim.batches", len(sizes))
+    obs.inc("sim.runs", len(sizes))
+    obs.inc("sim.activations", sum(sizes))
+    obs.inc("sim.cycles", merged.total_cycles)
+    for injector in injectors:
+        if injector is not None:
+            for kind, count in injector.counts.items():
+                if count:
+                    obs.inc(f"faults.injected.{kind}", count)
+    return merged
+
+
 def run_program_batched(
     program: Program,
     platform: Platform,
@@ -230,6 +332,7 @@ def run_program_batched(
     record_paths: bool = False,
     map_fn: Callable[..., Iterable[RunResult]] = map,
     fault_model: Optional[FaultModel] = None,
+    engine: str = "auto",
 ) -> RunResult:
     """Run activations in independent batches and merge the results.
 
@@ -240,12 +343,22 @@ def run_program_batched(
     ``Executor.map`` fans batches out over workers — and MUST preserve
     input order, which every ``concurrent.futures`` executor does.
 
+    ``engine`` selects the execution engine (see :func:`resolve_engine`):
+    ``"auto"`` dispatches eligible programs to the vectorized fleet engine
+    (:mod:`repro.sim.vectorized`), which runs every batch as one mote of a
+    lockstep fleet in this process — ``map_fn`` is not consulted on that
+    path because the fleet replaces the fan-out entirely.  ``"scalar"``
+    forces the original per-batch interpreter sweep.  Both engines produce
+    bit-identical merged results; ``tests/test_vectorized_differential.py``
+    holds them to it.
+
     Determinism: batch RNG streams are spawned from ``rng`` in index order
     *before* anything runs, and merging happens in index order, so the
-    merged :class:`RunResult` is bit-identical for any ``map_fn``.  A
-    ``fault_model`` (a frozen, picklable description — each batch builds
-    its own injector from its own spawned stream) keeps that property:
-    fault decisions depend on the batch index only, never on the schedule.
+    merged :class:`RunResult` is bit-identical for any ``map_fn`` and any
+    engine.  A ``fault_model`` (a frozen, picklable description — each
+    batch builds its own injector from its own spawned stream) keeps that
+    property: fault decisions depend on the batch index only, never on the
+    schedule.
 
     Note the semantics differ from :func:`run_program`: globals reset at
     batch boundaries and each batch draws from its own sensor stream, so a
@@ -270,7 +383,20 @@ def run_program_batched(
             record_paths,
             fault_model,
         )
+    resolved = resolve_engine(engine, program)
     seqs = spawn_seed_sequences(rng, len(sizes))
+    if resolved == "vectorized":
+        # The fleet merges in index order internally; no separate merge pass.
+        return _run_batches_vectorized(
+            program,
+            platform,
+            sensor_factory,
+            seqs,
+            sizes,
+            layout,
+            record_paths,
+            fault_model,
+        )
     results = list(
         map_fn(
             _run_batch,

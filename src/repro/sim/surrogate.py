@@ -1,0 +1,187 @@
+"""Learned block-throughput surrogate: a ridge model over instruction mixes.
+
+Placement search inner loops price the same blocks thousands of times
+through :meth:`~repro.ir.costmodel.CostModel.block_cycles`.  That pricing
+is exact but table-driven; on real silicon the table itself would be
+learned from measurements (Ithemal, arXiv:1808.07412, learns basic-block
+throughput end to end).  This module reproduces that idea at this repo's
+scale: featurize each basic block by its instruction mix (one count per
+opcode, one per binary operator — the same features the cost table keys
+on), fit ridge regression against cycles measured from any
+:class:`CostModel`-compatible pricer, and hand back
+
+* a :class:`SurrogateCostModel` that duck-types ``block_cycles`` /
+  ``instruction_cycles`` so placement code can swap it in for the exact
+  table, and
+* a :class:`SurrogateReport` with the measured error (MAE, max absolute
+  error, R²) on the training corpus — the honesty contract: a surrogate
+  is only usable where its error report says it is.
+
+With zero regularization and a corpus that spans the feature space the fit
+recovers the cost table exactly (the true map *is* linear in these
+features); the report's ``max_abs_error`` states how far any block's price
+can drift, which bounds the cycle error of a whole placement-search
+estimate linearly in block executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.block import BasicBlock
+from repro.ir.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.ir.instructions import BinaryOp, Instruction, Opcode
+from repro.ir.program import Program
+
+__all__ = [
+    "block_features",
+    "FEATURE_NAMES",
+    "SurrogateReport",
+    "SurrogateCostModel",
+    "fit_surrogate",
+]
+
+# Feature layout: opcode counts (BINOP excluded — it is refined per
+# operator), then one count per binary operator.  Fixed order, so models
+# are comparable and serializable.
+_OPCODES = [op for op in Opcode if op is not Opcode.BINOP]
+_BINOPS = list(BinaryOp)
+FEATURE_NAMES: tuple[str, ...] = tuple(
+    [f"op.{op.name.lower()}" for op in _OPCODES]
+    + [f"binop.{b.name.lower()}" for b in _BINOPS]
+)
+_OPCODE_POS = {op: i for i, op in enumerate(_OPCODES)}
+_BINOP_POS = {b: len(_OPCODES) + i for i, b in enumerate(_BINOPS)}
+
+
+def block_features(block: BasicBlock) -> np.ndarray:
+    """Instruction-mix feature vector of one basic block."""
+    x = np.zeros(len(FEATURE_NAMES), dtype=np.float64)
+    for instr in block.instructions:
+        if instr.opcode is Opcode.BINOP:
+            x[_BINOP_POS[instr.imm]] += 1.0
+        else:
+            x[_OPCODE_POS[instr.opcode]] += 1.0
+    return x
+
+
+@dataclass(frozen=True)
+class SurrogateReport:
+    """Measured error of a fitted surrogate on its training corpus."""
+
+    n_blocks: int
+    mae: float
+    max_abs_error: float
+    r2: float
+
+    def describe(self) -> str:
+        return (
+            f"surrogate over {self.n_blocks} blocks: "
+            f"MAE {self.mae:.3f} cycles, max |err| {self.max_abs_error:.3f}, "
+            f"R² {self.r2:.6f}"
+        )
+
+
+class SurrogateCostModel:
+    """A fitted pricer duck-typing the exact :class:`CostModel` interface.
+
+    ``block_cycles`` returns the (rounded, non-negative) ridge prediction;
+    ``instruction_cycles`` prices a one-instruction pseudo-block, and the
+    call/return overheads pass through from the reference model so control
+    transfer stays exact.  Analytic consumers (the Markov timing model,
+    placement scoring) can take either pricer.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        intercept: float,
+        reference: CostModel,
+        report: SurrogateReport,
+    ) -> None:
+        if weights.shape != (len(FEATURE_NAMES),):
+            raise SimulationError(
+                f"surrogate weights must have shape ({len(FEATURE_NAMES)},), "
+                f"got {weights.shape}"
+            )
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.intercept = float(intercept)
+        self.report = report
+        self.call_overhead = reference.call_overhead
+        self.return_overhead = reference.return_overhead
+
+    def predict(self, block: BasicBlock) -> float:
+        """Raw (unrounded) predicted straight-line cycles."""
+        return float(block_features(block) @ self.weights + self.intercept)
+
+    def block_cycles(self, block: BasicBlock) -> int:
+        """Predicted block cost, clamped to the valid cycle domain."""
+        return max(0, round(self.predict(block)))
+
+    def instruction_cycles(self, instr: Instruction) -> int:
+        x = np.zeros(len(FEATURE_NAMES), dtype=np.float64)
+        if instr.opcode is Opcode.BINOP:
+            x[_BINOP_POS[instr.imm]] = 1.0
+        else:
+            x[_OPCODE_POS[instr.opcode]] = 1.0
+        return max(0, round(float(x @ self.weights + self.intercept)))
+
+
+def _corpus_blocks(programs: Iterable[Program]) -> list[BasicBlock]:
+    blocks: list[BasicBlock] = []
+    for program in programs:
+        for proc in program:
+            for label in proc.cfg.labels:
+                blocks.append(proc.cfg.block(label))
+    return blocks
+
+
+def fit_surrogate(
+    programs: Sequence[Program],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    ridge: float = 1e-6,
+    fit_intercept: bool = False,
+) -> SurrogateCostModel:
+    """Fit the throughput surrogate on every block of ``programs``.
+
+    ``ridge`` is the L2 penalty on the weights (the intercept is never
+    penalized); the default is small enough to recover the exact table on
+    a spanning corpus while keeping the normal equations well-posed on a
+    degenerate one.  Raises :class:`SimulationError` on an empty corpus.
+    """
+    blocks = _corpus_blocks(programs)
+    if not blocks:
+        raise SimulationError("cannot fit a surrogate on an empty block corpus")
+    X = np.stack([block_features(b) for b in blocks])
+    y = np.asarray([cost_model.block_cycles(b) for b in blocks], dtype=np.float64)
+
+    n_features = X.shape[1]
+    if fit_intercept:
+        X_aug = np.hstack([X, np.ones((X.shape[0], 1))])
+    else:
+        X_aug = X
+    gram = X_aug.T @ X_aug
+    penalty = np.eye(X_aug.shape[1]) * ridge
+    if fit_intercept:
+        penalty[-1, -1] = 0.0
+    solution = np.linalg.solve(gram + penalty, X_aug.T @ y)
+    weights = solution[:n_features]
+    intercept = float(solution[n_features]) if fit_intercept else 0.0
+
+    predictions = X @ weights + intercept
+    residuals = y - predictions
+    ss_res = float(residuals @ residuals)
+    centred = y - y.mean()
+    ss_tot = float(centred @ centred)
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    report = SurrogateReport(
+        n_blocks=len(blocks),
+        mae=float(np.abs(residuals).mean()),
+        max_abs_error=float(np.abs(residuals).max()),
+        r2=r2,
+    )
+    return SurrogateCostModel(weights, intercept, cost_model, report)

@@ -1,0 +1,1161 @@
+"""Vectorized lockstep interpreter: many motes stepped by one numpy loop.
+
+The scalar :class:`~repro.sim.interpreter.Interpreter` walks one mote's CFG
+a block at a time; fleet-scale work (placement search, the F4 evaluation,
+the differential fuzz matrix) runs thousands of independent motes of the
+*same* program, so the per-block python overhead multiplies.  This engine
+compiles the program once into a flat node graph — block bodies become
+columns of slot-indexed numpy ops, terminators become cohort transitions —
+and then steps **all motes that currently sit on the same node together**:
+
+* mote state is one ``int64[n_motes, n_slots]`` register file (globals
+  first, then statically allocated per-procedure locals — sound because
+  call graphs are acyclic, which :func:`vectorize_eligible` checks);
+* per-block cycle costs are priced from ``cpu.cost_model`` once at compile
+  time and charged per cohort;
+* control-flow divergence is handled by regrouping: each sweep sorts the
+  live motes by current node and executes one cohort per distinct node, so
+  motes may spread across blocks — and even across activations — without
+  any barrier;
+* peripherals with per-mote RNG streams (sensors, radio, fault injector)
+  stay the *real* scalar objects, called per mote inside a cohort in mote
+  index order, so every mote consumes exactly the draw sequence the scalar
+  engine would.
+
+The contract — enforced by ``tests/test_vectorized_differential.py`` — is
+bit-identity with the scalar oracle: identical :class:`RunResult` (final
+state, cycle counts, ground-truth counters, invocation records, energy,
+fault fates) and identical hardware-counter snapshots, per mote, for any
+grouping of motes.  Programs the vectorizer cannot prove safe (recursion,
+parameterized entry, global-shadowing locals, possibly-unbound registers)
+are reported by :func:`vectorize_eligible` and fall back to the scalar
+engine in :func:`repro.sim.runner.run_program_batched`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import IRError, SimulationError
+from repro.ir.instructions import BinaryOp, Branch, Jump, Opcode, Return, UnaryOp
+from repro.ir.program import Program
+from repro.mote.platform import Platform
+from repro.mote.radio import Radio
+from repro.mote.sensors import SensorSuite
+from repro.obs import counters as hwc
+from repro.placement.layout import ProgramLayout
+from repro.sim.interpreter import _DEFAULT_MAX_STEPS
+from repro.sim.trace import ExecutionCounters, InvocationRecord, RunResult
+
+__all__ = [
+    "vectorize_eligible",
+    "compile_vectorized",
+    "VectorFleet",
+    "run_motes",
+    "run_motes_merged",
+]
+
+
+# -- 16-bit semantics over int64 arrays --------------------------------------
+
+_W_BIAS = 1 << 15
+
+
+def _wrap_arr(values: np.ndarray) -> np.ndarray:
+    """Signed 16-bit two's-complement wrap, elementwise (matches ``_wrap16``)."""
+    return ((values + _W_BIAS) & 0xFFFF) - _W_BIAS
+
+
+def _vbinop(op: BinaryOp, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`Interpreter._binop` over wrapped int64 operands."""
+    if op is BinaryOp.ADD:
+        return a + b
+    if op is BinaryOp.SUB:
+        return a - b
+    if op is BinaryOp.MUL:
+        return a * b
+    if op is BinaryOp.DIV or op is BinaryOp.MOD:
+        if bool((b == 0).any()):
+            raise SimulationError(
+                "division by zero" if op is BinaryOp.DIV else "modulo by zero"
+            )
+        q = np.abs(a) // np.abs(b)  # C semantics: truncate toward zero
+        q = np.where((a < 0) != (b < 0), -q, q)
+        return q if op is BinaryOp.DIV else a - b * q
+    if op is BinaryOp.AND:
+        return a & b
+    if op is BinaryOp.OR:
+        return a | b
+    if op is BinaryOp.XOR:
+        return a ^ b
+    if op is BinaryOp.SHL:
+        return a << (b & 15)
+    if op is BinaryOp.SHR:
+        return a >> (b & 15)  # int64 >> is arithmetic, like Python's
+    if op is BinaryOp.LT:
+        return (a < b).astype(np.int64)
+    if op is BinaryOp.LE:
+        return (a <= b).astype(np.int64)
+    if op is BinaryOp.GT:
+        return (a > b).astype(np.int64)
+    if op is BinaryOp.GE:
+        return (a >= b).astype(np.int64)
+    if op is BinaryOp.EQ:
+        return (a == b).astype(np.int64)
+    if op is BinaryOp.NE:
+        return (a != b).astype(np.int64)
+    raise SimulationError(f"unknown binary operator {op}")  # pragma: no cover
+
+
+# -- eligibility --------------------------------------------------------------
+
+
+def _instruction_reads(instr) -> tuple[str, ...]:
+    if instr.opcode is Opcode.CALL:
+        return instr.args
+    return instr.srcs
+
+
+def vectorize_eligible(program: Program) -> Optional[str]:
+    """Why ``program`` cannot run vectorized, or ``None`` when it can.
+
+    The checks guarantee the static compilation scheme is faithful to the
+    scalar semantics: an acyclic call graph (locals get *one* static slot
+    region per procedure, so re-entrancy would alias frames), a
+    parameterless entry, no local register sharing a name with a global
+    (the scalar engine reads such a name from the frame but writes it to
+    the global — a split this engine does not model), matching call
+    arities, declared arrays only, and definite assignment of every
+    register read (the scalar engine raises ``read of unbound variable`` at
+    runtime; the vectorized register file would silently read a stale
+    slot, so possibly-unbound programs stay on the scalar engine).
+    """
+    try:
+        program.topological_procedures()
+    except IRError as exc:
+        return str(exc)
+    if program.entry not in program.procedures:
+        return f"entry procedure {program.entry!r} is not defined"
+    if program.procedures[program.entry].params:
+        return f"entry procedure {program.entry!r} takes parameters"
+    global_names = set(program.globals_)
+    for proc in program:
+        writes: set[str] = set()
+        for label in proc.cfg.labels:
+            block = proc.cfg.block(label)
+            for instr in block.instructions:
+                if instr.opcode is Opcode.CALL:
+                    callee = program.procedures.get(instr.imm)
+                    if callee is None:
+                        return f"{proc.name!r} calls undefined procedure {instr.imm!r}"
+                    if len(instr.args) != len(callee.params):
+                        return (
+                            f"{proc.name!r} calls {instr.imm!r} with "
+                            f"{len(instr.args)} args, expected {len(callee.params)}"
+                        )
+                if instr.opcode in (Opcode.LOAD, Opcode.STORE):
+                    if instr.imm not in program.arrays:
+                        return f"{proc.name!r} accesses undeclared array {instr.imm!r}"
+                if instr.dst is not None:
+                    writes.add(instr.dst)
+        shadowed = (writes | set(proc.params)) & global_names
+        if set(proc.params) & global_names:
+            return f"{proc.name!r} parameter shadows global {sorted(shadowed)[0]!r}"
+        reason = _check_definite_assignment(proc, global_names)
+        if reason is not None:
+            return reason
+    return None
+
+
+def _check_definite_assignment(proc, global_names: set[str]) -> Optional[str]:
+    """Forward must-assign dataflow; reports the first possibly-unbound read."""
+    labels = proc.cfg.labels
+    preds: dict[str, list[str]] = {label: [] for label in labels}
+    block_writes: dict[str, set[str]] = {}
+    for label in labels:
+        block = proc.cfg.block(label)
+        block_writes[label] = {
+            i.dst
+            for i in block.instructions
+            if i.dst is not None and i.dst not in global_names
+        }
+        term = block.terminator
+        targets = ()
+        if isinstance(term, Jump):
+            targets = (term.target,)
+        elif isinstance(term, Branch):
+            targets = (term.then_target, term.else_target)
+        for target in targets:
+            preds[target].append(label)
+
+    universe = set(proc.params)
+    for ws in block_writes.values():
+        universe |= ws
+    entry = proc.cfg.entry
+    assigned_in = {label: set(universe) for label in labels}
+    assigned_in[entry] = set(proc.params)
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                continue
+            if preds[label]:
+                new = set.intersection(
+                    *(assigned_in[p] | block_writes[p] for p in preds[label])
+                )
+            else:
+                new = set(universe)  # unreachable: vacuously assigned
+            if new != assigned_in[label]:
+                assigned_in[label] = new
+                changed = True
+
+    for label in labels:
+        block = proc.cfg.block(label)
+        have = assigned_in[label] | global_names
+        for instr in block.instructions:
+            for name in _instruction_reads(instr):
+                if name not in have:
+                    return (
+                        f"{proc.name!r} may read unbound register {name!r} "
+                        f"in block {label!r}"
+                    )
+            if instr.dst is not None and instr.dst not in global_names:
+                have.add(instr.dst)
+        term = block.terminator
+        term_reads = ()
+        if isinstance(term, Branch):
+            term_reads = (term.cond,)
+        elif isinstance(term, Return) and term.value is not None:
+            term_reads = (term.value,)
+        for name in term_reads:
+            if name not in have:
+                return (
+                    f"{proc.name!r} may read unbound register {name!r} "
+                    f"in block {label!r}"
+                )
+    return None
+
+
+# -- compilation --------------------------------------------------------------
+
+# Straight-line op encodings (first tuple element).
+_OP_CONST, _OP_MOV, _OP_BINOP, _OP_UNOP, _OP_LOAD, _OP_STORE = range(6)
+_OP_SENSE, _OP_SEND, _OP_LED = range(6, 9)
+
+# Node kinds.
+_K_JUMP, _K_BRANCH, _K_RETURN, _K_CALL, _K_ACT_START, _K_ACT_END = range(6)
+
+
+class _Node:
+    __slots__ = ("kind", "proc", "proc_idx", "block_gid", "label", "block_cycles", "ops", "data")
+
+    def __init__(self, kind, proc, proc_idx, block_gid, label, block_cycles, ops, data):
+        self.kind = kind
+        self.proc = proc
+        self.proc_idx = proc_idx
+        self.block_gid = block_gid
+        self.label = label
+        self.block_cycles = block_cycles
+        self.ops = ops
+        self.data = data
+
+
+class _Compiled:
+    """One program compiled against one (platform, layout) pair."""
+
+    __slots__ = (
+        "program",
+        "platform",
+        "layout",
+        "nodes",
+        "blocks",
+        "edges",
+        "branch_sites",
+        "branch_edge_gids",
+        "proc_names",
+        "entry_idx",
+        "n_globals",
+        "n_slots",
+        "init_globals",
+        "array_specs",
+        "act_start",
+        "act_end",
+        "entry_node",
+        "return_cost",
+    )
+
+
+def compile_vectorized(
+    program: Program,
+    platform: Platform,
+    layout: Optional[ProgramLayout] = None,
+) -> _Compiled:
+    """Lower ``program`` to the node graph the fleet executor steps.
+
+    Callers must have checked :func:`vectorize_eligible` first; compilation
+    assumes its invariants and raises :class:`SimulationError` otherwise.
+    """
+    reason = vectorize_eligible(program)
+    if reason is not None:
+        raise SimulationError(f"program {program.name!r} is not vectorizable: {reason}")
+    layout = layout or ProgramLayout.source_order(program)
+    cpu = platform.cpu
+
+    # Slot allocation: globals first, then each procedure's params and
+    # non-global destination registers in first-seen order.
+    global_slots = {name: i for i, name in enumerate(program.globals_)}
+    n_globals = len(global_slots)
+    proc_slots: dict[str, dict[str, int]] = {}
+    next_slot = n_globals
+    proc_names = [proc.name for proc in program]
+    proc_index = {name: i for i, name in enumerate(proc_names)}
+    for proc in program:
+        slots: dict[str, int] = {}
+        for name in proc.params:
+            slots[name] = next_slot
+            next_slot += 1
+        for label in proc.cfg.labels:
+            for instr in proc.cfg.block(label).instructions:
+                dst = instr.dst
+                if dst is not None and dst not in global_slots and dst not in slots:
+                    slots[dst] = next_slot
+                    next_slot += 1
+        proc_slots[proc.name] = slots
+
+    array_specs = list(program.arrays.items())
+    array_index = {name: i for i, (name, _) in enumerate(array_specs)}
+
+    def rslot(proc_name: str, reg: str) -> int:
+        slots = proc_slots[proc_name]
+        if reg in slots:
+            return slots[reg]
+        return global_slots[reg]
+
+    # Wherever a name is *written*, the scalar engine routes globals to the
+    # global store — rslot already agrees because eligibility rejected
+    # shadowing, so a written global name is never in proc_slots.
+
+    blocks: list[tuple[str, str]] = []  # gid -> (proc, label)
+    edges: list[tuple[str, str, str]] = []  # gid -> (proc, label, arm)
+    sites: list[tuple[str, str]] = []  # gid -> (proc, label) of branch sites
+    nodes: list[_Node] = []
+    head_nid: dict[tuple[str, str], int] = {}
+
+    def compile_ops(proc_name: str, instrs) -> tuple[list, Optional[tuple]]:
+        """Ops until the first CALL; returns (ops, call_spec_or_None)."""
+        ops: list[tuple] = []
+        for pos, instr in enumerate(instrs):
+            op = instr.opcode
+            if op is Opcode.CONST:
+                ops.append((_OP_CONST, rslot(proc_name, instr.dst), int(instr.imm)))
+            elif op is Opcode.MOV:
+                ops.append(
+                    (_OP_MOV, rslot(proc_name, instr.dst), rslot(proc_name, instr.srcs[0]))
+                )
+            elif op is Opcode.BINOP:
+                ops.append(
+                    (
+                        _OP_BINOP,
+                        rslot(proc_name, instr.dst),
+                        instr.imm,
+                        rslot(proc_name, instr.srcs[0]),
+                        rslot(proc_name, instr.srcs[1]),
+                    )
+                )
+            elif op is Opcode.UNOP:
+                ops.append(
+                    (
+                        _OP_UNOP,
+                        rslot(proc_name, instr.dst),
+                        instr.imm is UnaryOp.NEG,
+                        rslot(proc_name, instr.srcs[0]),
+                    )
+                )
+            elif op is Opcode.LOAD:
+                ops.append(
+                    (
+                        _OP_LOAD,
+                        rslot(proc_name, instr.dst),
+                        array_index[instr.imm],
+                        rslot(proc_name, instr.srcs[0]),
+                        program.arrays[instr.imm],
+                        instr.imm,
+                    )
+                )
+            elif op is Opcode.STORE:
+                ops.append(
+                    (
+                        _OP_STORE,
+                        array_index[instr.imm],
+                        rslot(proc_name, instr.srcs[0]),
+                        rslot(proc_name, instr.srcs[1]),
+                        program.arrays[instr.imm],
+                        instr.imm,
+                    )
+                )
+            elif op is Opcode.SENSE:
+                ops.append((_OP_SENSE, rslot(proc_name, instr.dst), instr.imm))
+            elif op is Opcode.SEND:
+                ops.append((_OP_SEND, rslot(proc_name, instr.srcs[0])))
+            elif op is Opcode.LED:
+                ops.append((_OP_LED, rslot(proc_name, instr.srcs[0])))
+            elif op is Opcode.CALL:
+                callee = program.procedures[instr.imm]
+                call_spec = (
+                    instr.imm,
+                    proc_index[instr.imm],
+                    tuple(rslot(proc_name, a) for a in instr.args),
+                    tuple(proc_slots[instr.imm][p] for p in callee.params),
+                    rslot(proc_name, instr.dst) if instr.dst is not None else -1,
+                    pos,
+                )
+                return ops, call_spec
+            elif op in (Opcode.NOP, Opcode.HALT):
+                pass
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise SimulationError(f"unknown opcode {op}")
+        return ops, None
+
+    # Pass 1: emit nodes with symbolic jump/branch/call targets.
+    for proc in program:
+        proc_layout = layout.layout(proc.name)
+        resolved = proc_layout.resolve_all_branches()
+        pidx = proc_index[proc.name]
+        for label in proc.cfg.labels:
+            block = proc.cfg.block(label)
+            gid = len(blocks)
+            blocks.append((proc.name, label))
+            bc = cpu.cost_model.block_cycles(block)
+            head_nid[(proc.name, label)] = len(nodes)
+
+            instrs = list(block.instructions)
+            first = True
+            while True:
+                ops, call_spec = compile_ops(proc.name, instrs)
+                node_gid = gid if first else -1
+                node_bc = bc if first else 0
+                first = False
+                if call_spec is not None:
+                    callee_name, callee_idx, arg_slots, param_slots, dst_slot, pos = call_spec
+                    nodes.append(
+                        _Node(
+                            _K_CALL,
+                            proc.name,
+                            pidx,
+                            node_gid,
+                            label,
+                            node_bc,
+                            ops,
+                            # resume node is always the next node emitted
+                            [callee_name, callee_idx, arg_slots, param_slots, dst_slot, len(nodes) + 1],
+                        )
+                    )
+                    instrs = instrs[pos + 1 :]
+                    continue
+                break
+
+            term = block.terminator
+            if isinstance(term, Return):
+                vslot = rslot(proc.name, term.value) if term.value is not None else -1
+                data = [vslot]
+                kind = _K_RETURN
+            elif isinstance(term, Jump):
+                cost = cpu.jump_cost(fallthrough=proc_layout.jump_is_elided(label))
+                edge_gid = len(edges)
+                edges.append((proc.name, label, "jump"))
+                data = [cost, edge_gid, ("goto", proc.name, term.target)]
+                kind = _K_JUMP
+            else:
+                assert isinstance(term, Branch)
+                site = resolved[label]
+                site_gid = len(sites)
+                sites.append((proc.name, label))
+                then_edge = len(edges)
+                edges.append((proc.name, label, "then"))
+                else_edge = len(edges)
+                edges.append((proc.name, label, "else"))
+                predicted = cpu.predictor.predicts_taken(
+                    backward_target=site.backward_taken_target
+                )
+                pred_counter = (
+                    f"predict.{cpu.predictor.name}."
+                    f"{'taken' if predicted else 'not_taken'}"
+                )
+                data = [
+                    rslot(proc.name, term.cond),
+                    ("goto", proc.name, term.then_target),
+                    ("goto", proc.name, term.else_target),
+                    then_edge,
+                    else_edge,
+                    site_gid,
+                    site.taken_arm == "then",
+                    predicted,
+                    site.backward_taken_target,
+                    {"then": 1, "else": 2}.get(site.extra_jump_arm, 0),
+                    pred_counter,
+                ]
+                kind = _K_BRANCH
+            nodes.append(_Node(kind, proc.name, pidx, node_gid, label, node_bc, ops, data))
+
+    # The two lifecycle pseudo-nodes.
+    act_start = len(nodes)
+    entry_name = program.entry
+    nodes.append(_Node(_K_ACT_START, entry_name, proc_index[entry_name], -1, "", 0, [], []))
+    act_end = len(nodes)
+    nodes.append(_Node(_K_ACT_END, entry_name, proc_index[entry_name], -1, "", 0, [], []))
+
+    # Pass 2: resolve symbolic targets to node ids.
+    def resolve(target):
+        if isinstance(target, tuple) and target and target[0] == "goto":
+            return head_nid[(target[1], target[2])]
+        return target
+
+    for node in nodes:
+        node.data = [resolve(item) for item in node.data]
+        if node.kind == _K_CALL:
+            callee_name = node.data[0]
+            callee_entry = program.procedures[callee_name].cfg.entry
+            node.data.append(head_nid[(callee_name, callee_entry)])
+        node.data = tuple(node.data)
+
+    branch_arm_edges = [
+        gid for gid, (_, _, arm) in enumerate(edges) if arm in ("then", "else")
+    ]
+
+    compiled = _Compiled()
+    compiled.program = program
+    compiled.platform = platform
+    compiled.layout = layout
+    compiled.nodes = nodes
+    compiled.blocks = blocks
+    compiled.edges = edges
+    compiled.branch_sites = sites
+    compiled.branch_edge_gids = np.asarray(branch_arm_edges, dtype=np.intp)
+    compiled.proc_names = proc_names
+    compiled.entry_idx = proc_index[entry_name]
+    compiled.n_globals = n_globals
+    compiled.n_slots = next_slot
+    compiled.init_globals = np.asarray(
+        [((v + _W_BIAS) & 0xFFFF) - _W_BIAS for v in program.globals_.values()],
+        dtype=np.int64,
+    )
+    compiled.array_specs = array_specs
+    compiled.act_start = act_start
+    compiled.act_end = act_end
+    compiled.entry_node = head_nid[(entry_name, program.procedures[entry_name].cfg.entry)]
+    compiled.return_cost = cpu.return_cost()
+    return compiled
+
+
+# -- execution ----------------------------------------------------------------
+
+
+class VectorFleet:
+    """Executes a compiled program for a fleet of independent motes.
+
+    Each mote owns its peripherals (sensor suite, radio, optional fault
+    injector), exactly as one scalar :class:`Interpreter` would; only the
+    CPU state and the cycle accounting are arrays.
+    """
+
+    def __init__(
+        self,
+        compiled: _Compiled,
+        sensor_suites: Sequence[SensorSuite],
+        activations: Sequence[int],
+        record_paths: bool = False,
+        fault_injectors: Optional[Sequence] = None,
+        max_steps_per_invocation: int = _DEFAULT_MAX_STEPS,
+    ) -> None:
+        n = len(sensor_suites)
+        if len(activations) != n:
+            raise SimulationError(
+                f"got {n} sensor suites but {len(activations)} activation counts"
+            )
+        if fault_injectors is None:
+            fault_injectors = [None] * n
+        if len(fault_injectors) != n:
+            raise SimulationError(
+                f"got {n} sensor suites but {len(fault_injectors)} fault injectors"
+            )
+        self.c = compiled
+        self.n = n
+        self.suites = list(sensor_suites)
+        self.injectors = list(fault_injectors)
+        self.targets = [int(a) for a in activations]
+        if any(t < 0 for t in self.targets):
+            raise ValueError("activations must be non-negative")
+        self.record_paths = record_paths
+        self.max_steps = max_steps_per_invocation
+
+        self.radios = []
+        for suite, inj in zip(self.suites, self.injectors):
+            radio = Radio()
+            if inj is not None:
+                radio.faults = inj
+                suite.attach_faults(inj)
+            self.radios.append(radio)
+
+        c = compiled
+        self.V = np.zeros((n, c.n_slots), dtype=np.int64)
+        if c.n_globals:
+            self.V[:, : c.n_globals] = c.init_globals
+        self.arrays = [np.zeros((n, size), dtype=np.int64) for _, size in c.array_specs]
+        self.leds = np.zeros(n, dtype=np.int64)
+        self.cycle = np.zeros(n, dtype=np.int64)
+        self.cur_steps = np.zeros(n, dtype=np.int64)
+        self.depth = np.zeros(n, dtype=np.int64)
+        self.acts_done = [0] * n
+        self.marks = [0] * n
+        self.node = np.full(n, -1, dtype=np.int64)
+        for m, target in enumerate(self.targets):
+            if target > 0:
+                self.node[m] = c.act_start
+
+        self.visits = np.zeros((n, len(c.blocks)), dtype=np.int64)
+        self.edge_counts = np.zeros((n, len(c.edges)), dtype=np.int64)
+        self.taken_counts = np.zeros((n, len(c.branch_sites)), dtype=np.int64)
+        self.mispredict_counts = np.zeros((n, len(c.branch_sites)), dtype=np.int64)
+        self.sense_reads = np.zeros(n, dtype=np.int64)
+        self.sends = np.zeros(n, dtype=np.int64)
+        self.invocations = np.zeros((n, len(c.proc_names)), dtype=np.int64)
+
+        # Per-mote python state: open invocation frames and closed records.
+        # Frame: (proc_idx, entry_cycle, depth, saved_steps, ret_dst_slot,
+        #         ret_node, path_list_or_None).
+        self.stacks: list[list] = [[] for _ in range(n)]
+        self.records: list[list] = [[] for _ in range(n)]
+
+    # -- the sweep loop ------------------------------------------------------
+
+    def run(self) -> list[RunResult]:
+        """Step every mote to completion; returns per-mote results in order."""
+        self.sweep()
+        return [self._assemble(m) for m in range(self.n)]
+
+    def sweep(self) -> None:
+        """Drive every mote to its final activation (idempotent)."""
+        node = self.node
+        # The registry cannot change mid-run (counters_active brackets the
+        # whole call), so one lookup serves the entire sweep.
+        hw = hwc.active()
+        while True:
+            live = np.flatnonzero(node >= 0)
+            if live.size == 0:
+                break
+            order = np.argsort(node[live], kind="stable")
+            ordered = live[order]
+            ordered_nodes = node[ordered]
+            cuts = np.flatnonzero(np.diff(ordered_nodes)) + 1
+            starts = np.concatenate(([0], cuts))
+            groups = np.split(ordered, cuts)
+            for start, idx in zip(starts, groups):
+                self._exec(int(ordered_nodes[start]), idx, hw)
+
+    def _exec(self, nid: int, idx: np.ndarray, hw) -> None:
+        c = self.c
+        node = c.nodes[nid]
+        V = self.V
+        k = idx.size
+
+        if node.block_gid >= 0:
+            steps = self.cur_steps[idx] + 1
+            self.cur_steps[idx] = steps
+            if int(steps.max()) > self.max_steps:
+                raise SimulationError(
+                    f"{node.proc!r} exceeded {self.max_steps} blocks in one invocation"
+                )
+            self.visits[idx, node.block_gid] += 1
+            bc = node.block_cycles
+            if bc:
+                self.cycle[idx] += bc
+            if hw is not None:
+                hw.add("cycles.block", bc * k)
+                hw.add("flash.fetches", k)
+                hw.add_proc(node.proc, "cycles", bc * k)
+            if self.record_paths:
+                label = node.label
+                for m in idx.tolist():
+                    self.stacks[m][-1][6].append(label)
+
+        for op in node.ops:
+            code = op[0]
+            if code == _OP_BINOP:
+                V[idx, op[1]] = _wrap_arr(_vbinop(op[2], V[idx, op[3]], V[idx, op[4]]))
+            elif code == _OP_CONST:
+                V[idx, op[1]] = ((op[2] + _W_BIAS) & 0xFFFF) - _W_BIAS
+            elif code == _OP_MOV:
+                V[idx, op[1]] = V[idx, op[2]]
+            elif code == _OP_UNOP:
+                src = V[idx, op[3]]
+                V[idx, op[1]] = _wrap_arr(-src) if op[2] else (src == 0).astype(np.int64)
+            elif code == _OP_LOAD:
+                _, dst, arr_i, idx_slot, size, arr_name = op
+                positions = V[idx, idx_slot]
+                self._check_bounds(positions, size, arr_name)
+                V[idx, dst] = self.arrays[arr_i][idx, positions]
+            elif code == _OP_STORE:
+                _, arr_i, idx_slot, val_slot, size, arr_name = op
+                positions = V[idx, idx_slot]
+                self._check_bounds(positions, size, arr_name)
+                self.arrays[arr_i][idx, positions] = V[idx, val_slot]
+            elif code == _OP_SENSE:
+                _, dst, channel = op
+                suites = self.suites
+                V[idx, dst] = [suites[m].read(channel) for m in idx.tolist()]
+                self.sense_reads[idx] += 1
+            elif code == _OP_SEND:
+                values = V[idx, op[1]].tolist()
+                cycles = self.cycle[idx].tolist()
+                radios = self.radios
+                for m, value, cyc in zip(idx.tolist(), values, cycles):
+                    radios[m].transmit(value, cyc)
+                self.sends[idx] += 1
+            else:  # _OP_LED
+                self.leds[idx] = V[idx, op[1]] & 0x7
+
+        kind = node.kind
+        if kind == _K_BRANCH:
+            self._exec_branch(node, idx, hw)
+        elif kind == _K_JUMP:
+            cost, edge_gid, target = node.data
+            if cost:
+                self.cycle[idx] += cost
+            if hw is not None:
+                hw.add("control.jumps", k)
+                if cost:
+                    hw.add("cycles.jump", cost * k)
+                hw.add_proc(node.proc, "cycles", cost * k)
+            self.edge_counts[idx, edge_gid] += 1
+            self.node[idx] = target
+        elif kind == _K_RETURN:
+            self._exec_return(node, idx, hw)
+        elif kind == _K_CALL:
+            self._exec_call(node, idx, hw)
+        elif kind == _K_ACT_START:
+            self._exec_act_start(node, idx, hw)
+        else:  # _K_ACT_END
+            self._exec_act_end(idx, hw)
+
+    def _check_bounds(self, positions: np.ndarray, size: int, arr_name: str) -> None:
+        bad = (positions < 0) | (positions >= size)
+        if bool(bad.any()):
+            offending = int(positions[bad][0])
+            raise SimulationError(
+                f"array index out of bounds: {arr_name}[{offending}] (size {size})"
+            )
+
+    def _exec_branch(self, node, idx: np.ndarray, hw) -> None:
+        c = self.c
+        cpu = c.platform.cpu
+        (
+            cond_slot,
+            then_nid,
+            else_nid,
+            then_edge,
+            else_edge,
+            site_gid,
+            taken_if_then,
+            predicted,
+            backward,
+            extra_arm,
+            pred_counter,
+        ) = node.data
+        cond = self.V[idx, cond_slot] != 0
+        taken = cond if taken_if_then else ~cond
+        mispredicted = taken != predicted
+        cyc = np.full(idx.size, cpu.branch_base_cycles, dtype=np.int64)
+        cyc += taken * cpu.taken_extra_cycles
+        cyc += mispredicted * cpu.mispredict_penalty_cycles
+        self.cycle[idx] += cyc
+
+        k = idx.size
+        k_taken = int(taken.sum())
+        k_misp = int(mispredicted.sum())
+        then_idx = idx[cond]
+        else_idx = idx[~cond]
+        self.edge_counts[then_idx, then_edge] += 1
+        self.edge_counts[else_idx, else_edge] += 1
+        self.taken_counts[idx[taken], site_gid] += 1
+        self.mispredict_counts[idx[mispredicted], site_gid] += 1
+
+        extra_cycles = 0
+        k_extra = 0
+        if extra_arm:
+            extra_idx = then_idx if extra_arm == 1 else else_idx
+            k_extra = extra_idx.size
+            if k_extra:
+                extra_cycles = cpu.jump_cycles
+                self.cycle[extra_idx] += extra_cycles
+
+        if hw is not None:
+            hw.add(pred_counter, k)
+            if k_taken:
+                hw.add("branch.taken", k_taken)
+            if k - k_taken:
+                hw.add("branch.not_taken", k - k_taken)
+            hw.add("cycles.branch", int(cyc.sum()))
+            hw.add_proc(node.proc, "cycles", int(cyc.sum()))
+            hw.add_proc(node.proc, "branches", k)
+            if k_taken:
+                hw.add_proc(node.proc, "taken", k_taken)
+            if k_misp:
+                # The predicted arm is site-constant, so every mispredict at
+                # this site shares one (taken?, direction) classification.
+                hw.add(
+                    "branch.mispredict.taken" if not predicted else "branch.mispredict.not_taken",
+                    k_misp,
+                )
+                hw.add(
+                    "branch.mispredict.backward_target"
+                    if backward
+                    else "branch.mispredict.forward_target",
+                    k_misp,
+                )
+                hw.add_proc(node.proc, "mispredicts", k_misp)
+            if k_extra:
+                hw.add("cycles.jump", extra_cycles * k_extra)
+                hw.add_proc(node.proc, "cycles", extra_cycles * k_extra)
+
+        self.node[then_idx] = then_nid
+        self.node[else_idx] = else_nid
+
+    def _exec_return(self, node, idx: np.ndarray, hw) -> None:
+        cost = self.c.return_cost
+        k = idx.size
+        self.cycle[idx] += cost
+        if hw is not None:
+            hw.add("cycles.return", cost * k)
+            hw.add_proc(node.proc, "cycles", cost * k)
+        self.invocations[idx, node.proc_idx] += 1
+        (vslot,) = node.data
+        values = self.V[idx, vslot].tolist() if vslot >= 0 else None
+        exit_cycles = self.cycle[idx].tolist()
+        proc_name = node.proc
+        V = self.V
+        stacks = self.stacks
+        records = self.records
+        cur_steps = self.cur_steps
+        depth_arr = self.depth
+        node_arr = self.node
+        for i, m in enumerate(idx.tolist()):
+            _, entry_cycle, depth, saved_steps, ret_dst, ret_nid, path = stacks[m].pop()
+            records[m].append(
+                (
+                    proc_name,
+                    entry_cycle,
+                    exit_cycles[i],
+                    depth,
+                    tuple(path) if path is not None else None,
+                )
+            )
+            if ret_dst >= 0:
+                V[m, ret_dst] = values[i] if values is not None else 0
+            cur_steps[m] = saved_steps
+            depth_arr[m] = depth - 1
+            node_arr[m] = ret_nid
+
+    def _exec_call(self, node, idx: np.ndarray, hw) -> None:
+        callee_name, callee_idx, arg_slots, param_slots, dst_slot, resume_nid, entry_nid = node.data
+        V = self.V
+        for pslot, aslot in zip(param_slots, arg_slots):
+            V[idx, pslot] = V[idx, aslot]
+        if hw is not None:
+            hw.add_proc(callee_name, "invocations", idx.size)
+        self.depth[idx] += 1
+        entry_cycles = self.cycle[idx].tolist()
+        depths = self.depth[idx].tolist()
+        saved_steps = self.cur_steps[idx].tolist()
+        record_paths = self.record_paths
+        for i, m in enumerate(idx.tolist()):
+            self.stacks[m].append(
+                [
+                    callee_idx,
+                    entry_cycles[i],
+                    depths[i],
+                    saved_steps[i],
+                    dst_slot,
+                    resume_nid,
+                    [] if record_paths else None,
+                ]
+            )
+        self.cur_steps[idx] = 0
+        self.node[idx] = entry_nid
+
+    def _exec_act_start(self, node, idx: np.ndarray, hw) -> None:
+        c = self.c
+        if hw is not None:
+            hw.add_proc(node.proc, "invocations", idx.size)
+        self.depth[idx] = 0
+        self.cur_steps[idx] = 0
+        entry_cycles = self.cycle[idx].tolist()
+        record_paths = self.record_paths
+        for i, m in enumerate(idx.tolist()):
+            self.marks[m] = len(self.records[m])
+            self.stacks[m].append(
+                [
+                    c.entry_idx,
+                    entry_cycles[i],
+                    0,
+                    0,
+                    -1,
+                    c.act_end,
+                    [] if record_paths else None,
+                ]
+            )
+        self.node[idx] = c.entry_node
+
+    def _exec_act_end(self, idx: np.ndarray, hw) -> None:
+        """Close one activation per mote and start the next in place.
+
+        Starting the next activation here (instead of bouncing through the
+        ``act_start`` node again) saves one sweep round and one per-mote
+        python pass per activation; the emitted events are identical.
+        """
+        c = self.c
+        n_globals = c.n_globals
+        acts_done = self.acts_done
+        targets = self.targets
+        injectors = self.injectors
+        records = self.records
+        marks = self.marks
+        stacks = self.stacks
+        node_arr = self.node
+        record_paths = self.record_paths
+        entry_idx = c.entry_idx
+        act_end = c.act_end
+        entry_cycles = self.cycle[idx].tolist()
+        continuing = 0
+        for i, m in enumerate(idx.tolist()):
+            acts_done[m] += 1
+            inj = injectors[m]
+            if inj is not None and inj.reboot_during_activation():
+                del records[m][marks[m] :]
+                if n_globals:
+                    self.V[m, :n_globals] = c.init_globals
+                for arr in self.arrays:
+                    arr[m, :] = 0
+                self.leds[m] = 0
+            if acts_done[m] < targets[m]:
+                continuing += 1
+                marks[m] = len(records[m])
+                stacks[m].append(
+                    [
+                        entry_idx,
+                        entry_cycles[i],
+                        0,
+                        0,
+                        -1,
+                        act_end,
+                        [] if record_paths else None,
+                    ]
+                )
+                node_arr[m] = c.entry_node
+            else:
+                node_arr[m] = -1
+        # Finished motes never read these again, so resetting the whole
+        # cohort is safe and cheaper than masking.
+        self.depth[idx] = 0
+        self.cur_steps[idx] = 0
+        if hw is not None and continuing:
+            hw.add_proc(c.proc_names[entry_idx], "invocations", continuing)
+
+    # -- result assembly -----------------------------------------------------
+
+    def merged_result(self) -> RunResult:
+        """The whole fleet as one merged :class:`RunResult`.
+
+        Bit-identical to ``merge_run_results([per-mote results])`` — same
+        counter sums, same index-order record re-timestamping, same
+        sequential float accumulation of energy — but assembled once from
+        the fleet arrays instead of building ``n`` intermediate results.
+        """
+        c = self.c
+        counters = ExecutionCounters()
+        visits = self.visits.sum(axis=0)
+        for gid in np.flatnonzero(visits).tolist():
+            counters.block_visits[c.blocks[gid]] = int(visits[gid])
+        edge_counts = self.edge_counts.sum(axis=0)
+        for gid in np.flatnonzero(edge_counts).tolist():
+            counters.edge_counts[c.edges[gid]] = int(edge_counts[gid])
+        taken = self.taken_counts.sum(axis=0)
+        for gid in np.flatnonzero(taken).tolist():
+            counters.branch_taken[c.branch_sites[gid]] = int(taken[gid])
+        mispredicts = self.mispredict_counts.sum(axis=0)
+        for gid in np.flatnonzero(mispredicts).tolist():
+            counters.branch_mispredicts[c.branch_sites[gid]] = int(mispredicts[gid])
+        counters.branches_executed = int(edge_counts[c.branch_edge_gids].sum())
+        counters.taken_total = int(taken.sum())
+        counters.mispredict_total = int(mispredicts.sum())
+        counters.sense_reads = int(self.sense_reads.sum())
+        counters.sends = int(self.sends.sum())
+        invocations = self.invocations.sum(axis=0)
+        for pidx in np.flatnonzero(invocations).tolist():
+            counters.invocations[c.proc_names[pidx]] = int(invocations[pidx])
+
+        records: list[InvocationRecord] = []
+        offset = 0
+        energy = 0.0
+        packets = 0
+        total_activations = 0
+        sense_per_mote = self.sense_reads.tolist()
+        cycles_per_mote = self.cycle.tolist()
+        for m in range(self.n):
+            for proc, entry, exit_, depth, path in self.records[m]:
+                records.append(
+                    InvocationRecord(
+                        procedure=proc,
+                        entry_cycle=entry + offset,
+                        exit_cycle=exit_ + offset,
+                        depth=depth,
+                        path=path,
+                    )
+                )
+            mote_cycles = cycles_per_mote[m]
+            radio = self.radios[m]
+            energy += c.platform.energy.total_mj(
+                cycles=mote_cycles,
+                conversions=sense_per_mote[m],
+                packets=radio.transmissions,
+            )
+            offset += mote_cycles
+            packets += radio.packet_count
+            total_activations += self.targets[m]
+        return RunResult(
+            program_name=c.program.name,
+            activations=total_activations,
+            total_cycles=offset,
+            counters=counters,
+            records=records,
+            energy_mj=energy,
+            radio_packets=packets,
+        )
+
+    def _assemble(self, m: int) -> RunResult:
+        c = self.c
+        counters = ExecutionCounters()
+        row = self.visits[m]
+        for gid in np.flatnonzero(row).tolist():
+            counters.block_visits[c.blocks[gid]] = int(row[gid])
+        row = self.edge_counts[m]
+        for gid in np.flatnonzero(row).tolist():
+            counters.edge_counts[c.edges[gid]] = int(row[gid])
+        row = self.taken_counts[m]
+        for gid in np.flatnonzero(row).tolist():
+            counters.branch_taken[c.branch_sites[gid]] = int(row[gid])
+        row = self.mispredict_counts[m]
+        for gid in np.flatnonzero(row).tolist():
+            counters.branch_mispredicts[c.branch_sites[gid]] = int(row[gid])
+        counters.branches_executed = int(
+            self.edge_counts[m, c.branch_edge_gids].sum()
+        )
+        counters.taken_total = int(self.taken_counts[m].sum())
+        counters.mispredict_total = int(self.mispredict_counts[m].sum())
+        counters.sense_reads = int(self.sense_reads[m])
+        counters.sends = int(self.sends[m])
+        row = self.invocations[m]
+        for pidx in np.flatnonzero(row).tolist():
+            counters.invocations[c.proc_names[pidx]] = int(row[pidx])
+
+        records = [
+            InvocationRecord(
+                procedure=proc,
+                entry_cycle=entry,
+                exit_cycle=exit_,
+                depth=depth,
+                path=path,
+            )
+            for proc, entry, exit_, depth, path in self.records[m]
+        ]
+        radio = self.radios[m]
+        total_cycles = int(self.cycle[m])
+        energy = c.platform.energy.total_mj(
+            cycles=total_cycles,
+            conversions=counters.sense_reads,
+            packets=radio.transmissions,
+        )
+        return RunResult(
+            program_name=c.program.name,
+            activations=self.targets[m],
+            total_cycles=total_cycles,
+            counters=counters,
+            records=records,
+            energy_mj=energy,
+            radio_packets=radio.packet_count,
+        )
+
+
+def run_motes(
+    program: Program,
+    platform: Platform,
+    sensor_suites: Sequence[SensorSuite],
+    activations: Sequence[int],
+    layout: Optional[ProgramLayout] = None,
+    record_paths: bool = False,
+    fault_injectors: Optional[Sequence] = None,
+    max_steps_per_invocation: int = _DEFAULT_MAX_STEPS,
+) -> list[RunResult]:
+    """Run many independent motes of one program and return per-mote results.
+
+    Mote ``i``'s result — state, counters, records, energy, fault fates,
+    hardware-counter contribution — is bit-identical to a scalar
+    :func:`repro.sim.runner.run_program` over the same suite, injector, and
+    activation count.  The per-mote emission of float radio energy happens
+    in mote index order, matching a serial scalar sweep exactly.
+    """
+    compiled = compile_vectorized(program, platform, layout)
+    fleet = VectorFleet(
+        compiled,
+        sensor_suites,
+        activations,
+        record_paths=record_paths,
+        fault_injectors=fault_injectors,
+        max_steps_per_invocation=max_steps_per_invocation,
+    )
+    results = fleet.run()
+    _emit_radio_energy(platform, fleet)
+    return results
+
+
+def _emit_radio_energy(platform: Platform, fleet: VectorFleet) -> None:
+    # Per mote in index order, matching a serial scalar sweep's float
+    # emission order exactly.
+    hw = hwc.active()
+    if hw is None:
+        return
+    for radio in fleet.radios:
+        if radio.transmissions:
+            hw.radio_energy(platform.energy.radio_mj(radio.transmissions) * 1000.0)
+
+
+def run_motes_merged(
+    program: Program,
+    platform: Platform,
+    sensor_suites: Sequence[SensorSuite],
+    activations: Sequence[int],
+    layout: Optional[ProgramLayout] = None,
+    record_paths: bool = False,
+    fault_injectors: Optional[Sequence] = None,
+    max_steps_per_invocation: int = _DEFAULT_MAX_STEPS,
+) -> RunResult:
+    """Like :func:`run_motes`, but return one fleet-wide merged result.
+
+    Bit-identical to ``merge_run_results(run_motes(...))`` while skipping
+    the per-mote :class:`RunResult` intermediates — this is the hot path
+    :func:`repro.sim.runner.run_program_batched` dispatches to.
+    """
+    compiled = compile_vectorized(program, platform, layout)
+    fleet = VectorFleet(
+        compiled,
+        sensor_suites,
+        activations,
+        record_paths=record_paths,
+        fault_injectors=fault_injectors,
+        max_steps_per_invocation=max_steps_per_invocation,
+    )
+    fleet.sweep()
+    _emit_radio_energy(platform, fleet)
+    return fleet.merged_result()

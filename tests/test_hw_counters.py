@@ -33,7 +33,7 @@ from repro.obs.counters import (
     empty_snapshot,
     merge_snapshots,
 )
-from repro.sim import run_program
+from repro.sim import ENGINE_ENV_VAR, run_program, run_program_batched
 
 # --------------------------------------------------------------------------
 # Snapshot algebra (hypothesis)
@@ -208,7 +208,9 @@ QUICK = ExperimentConfig(quick=True, seed=2015, activations=600)
 
 
 class TestScheduleIndependence:
-    def _f4_with_counters(self, jobs):
+    def _f4_with_counters(self, jobs, engine=None, monkeypatch=None):
+        if engine is not None:
+            monkeypatch.setenv(ENGINE_ENV_VAR, engine)
         hw = HardwareCounters()
         with counters_active(hw):
             (outcome,) = run_experiments(["f4"], QUICK, jobs=jobs, counters=True)
@@ -226,3 +228,117 @@ class TestScheduleIndependence:
         )
         # the run really produced branch events to aggregate
         assert hwc.branches_executed(serial_snap) > 0
+
+    def test_f4_counters_bit_identical_across_engines(self, monkeypatch):
+        """jobs=1 == jobs=4 == forced-scalar == forced-vectorized.
+
+        The counter registers a fleet reports cannot depend on which engine
+        stepped the motes any more than on how many workers ran the units.
+        """
+        serial_result, serial_snap = self._f4_with_counters(jobs=1)
+        scalar_result, scalar_snap = self._f4_with_counters(
+            jobs=1, engine="scalar", monkeypatch=monkeypatch
+        )
+        vector_result, vector_snap = self._f4_with_counters(
+            jobs=4, engine="vectorized", monkeypatch=monkeypatch
+        )
+        assert serial_snap == scalar_snap == vector_snap
+        assert (
+            serial_result.render()
+            == scalar_result.render()
+            == vector_result.render()
+        )
+
+
+# --------------------------------------------------------------------------
+# Vectorized engine: real snapshots obey the algebra, and match the oracle
+# --------------------------------------------------------------------------
+
+BATCHED_PROGRAM_SOURCE = """
+proc helper(v) {
+    var acc = v;
+    while (acc > 300) {
+        acc = acc / 2;
+        send(acc);
+    }
+    return acc;
+}
+proc main() {
+    led(helper(sense(a)) & 7);
+}
+"""
+
+
+def _batched_snapshot(engine, activations=40, rng=11):
+    program = compile_source(BATCHED_PROGRAM_SOURCE)
+    factory = lambda g: SensorSuite({"a": UniformSensor()}, rng=g)
+    hw = HardwareCounters()
+    with counters_active(hw, isolated=True):
+        result = run_program_batched(
+            program,
+            MICAZ_LIKE,
+            factory,
+            activations=activations,
+            batch_size=8,
+            rng=rng,
+            engine=engine,
+        )
+    return result, hw.snapshot()
+
+
+class TestVectorizedPath:
+    def test_vectorized_snapshot_equals_scalar_snapshot(self):
+        scalar_result, scalar_snap = _batched_snapshot("scalar")
+        vector_result, vector_snap = _batched_snapshot("vectorized")
+        assert scalar_result == vector_result
+        assert scalar_snap == vector_snap
+        assert hwc.total_cycles(vector_snap) == vector_result.total_cycles
+
+    def test_real_vectorized_snapshots_obey_the_monoid_laws(self):
+        """The algebra holds on *emitted* snapshots, not just synthetic ones.
+
+        Vectorized emission adds in cohort-sized strides (and floats for
+        radio energy), so these runs exercise merge/diff on exactly the
+        value shapes the engine produces.  Integer counters are exactly
+        associative; the one float counter (``radio.energy_uj``) is
+        associative only up to IEEE rounding, so it is compared
+        approximately — the same caveat the scalar path carries.
+        """
+        _, a = _batched_snapshot("vectorized", activations=24, rng=1)
+        _, b = _batched_snapshot("vectorized", activations=40, rng=2)
+        _, c = _batched_snapshot("vectorized", activations=16, rng=3)
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        l_energy = left["totals"].pop("radio.energy_uj")
+        r_energy = right["totals"].pop("radio.energy_uj")
+        assert l_energy == pytest.approx(r_energy, rel=1e-12)
+        assert left == right
+        assert merge_snapshots(a, empty_snapshot())["totals"] == a["totals"]
+
+    def test_diff_recovers_a_vectorized_run_from_an_aggregate(self):
+        """Inverse law on real data: diff(a, merge(a, b)) == b."""
+        _, a = _batched_snapshot("vectorized", activations=24, rng=5)
+        _, b = _batched_snapshot("vectorized", activations=40, rng=6)
+        assert diff_snapshots(a, merge_snapshots(a, b)) == b
+
+    def test_vectorized_runs_fold_into_ambient_registry(self):
+        """Nested-scope folding works when the inner scope ran vectorized."""
+        program = compile_source(BATCHED_PROGRAM_SOURCE)
+        factory = lambda g: SensorSuite({"a": UniformSensor()}, rng=g)
+        outer = HardwareCounters()
+        with counters_active(outer):
+            inner = HardwareCounters()
+            with counters_active(inner):
+                run_program_batched(
+                    program,
+                    MICAZ_LIKE,
+                    factory,
+                    activations=24,
+                    batch_size=8,
+                    rng=4,
+                    engine="vectorized",
+                )
+            inner_snap = inner.snapshot()
+        assert outer.snapshot() == inner_snap

@@ -1,0 +1,106 @@
+"""Learned block-throughput surrogate: exact recovery and the honesty report.
+
+The true block-cost map *is* linear in the surrogate's features (opcode
+counts plus per-operator BINOP counts — the very keys of the cost table),
+so on a spanning corpus ridge regression must recover the table exactly and
+say so in its error report.  The surrogate must also duck-type the
+:class:`CostModel` interface faithfully enough for analytic consumers: same
+``block_cycles``/``instruction_cycles`` shape, call/return overheads passed
+through from the reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.costmodel import DEFAULT_COST_MODEL
+from repro.sim import fit_surrogate
+from repro.sim.surrogate import FEATURE_NAMES, block_features
+from repro.workloads.registry import all_workloads
+from repro.workloads.synthetic import random_workload
+
+CORPUS = [spec.program() for spec in all_workloads()]
+
+
+class TestFit:
+    def test_exact_recovery_on_registry_corpus(self):
+        surrogate = fit_surrogate(CORPUS)
+        report = surrogate.report
+        assert report.n_blocks > 50
+        # The true map is linear in the features: the fit is exact up to
+        # the (tiny) ridge penalty, and integer rounding erases even that.
+        assert report.max_abs_error < 1e-3
+        assert report.mae < 1e-4
+        assert report.r2 == pytest.approx(1.0)
+        for program in CORPUS:
+            for proc in program:
+                for label in proc.cfg.labels:
+                    block = proc.cfg.block(label)
+                    assert surrogate.block_cycles(block) == (
+                        DEFAULT_COST_MODEL.block_cycles(block)
+                    )
+
+    def test_instruction_pricing_matches_reference(self):
+        surrogate = fit_surrogate(CORPUS)
+        for program in CORPUS:
+            for proc in program:
+                for label in proc.cfg.labels:
+                    for instr in proc.cfg.block(label).instructions:
+                        assert surrogate.instruction_cycles(instr) == (
+                            DEFAULT_COST_MODEL.instruction_cycles(instr)
+                        )
+
+    def test_generalizes_to_unseen_programs(self):
+        """Fit on a spanning corpus, price a program it never saw.
+
+        The registry alone never multiplies, so its fit leaves the MUL
+        weight at the ridge prior (zero) — adding a few synthetic programs
+        spans the remaining directions, after which unseen programs price
+        exactly.  That boundary is the report's whole point: a surrogate is
+        only trustworthy on feature directions its corpus actually excited.
+        """
+        corpus = CORPUS + [
+            random_workload(rng=seed, n_branches=5).program() for seed in range(3)
+        ]
+        surrogate = fit_surrogate(corpus)
+        program = random_workload(rng=99, n_branches=4).program()
+        for proc in program:
+            for label in proc.cfg.labels:
+                block = proc.cfg.block(label)
+                assert surrogate.block_cycles(block) == (
+                    DEFAULT_COST_MODEL.block_cycles(block)
+                )
+
+    def test_empty_corpus_is_loud(self):
+        with pytest.raises(SimulationError, match="empty block corpus"):
+            fit_surrogate([])
+
+    def test_report_describe_mentions_the_numbers(self):
+        report = fit_surrogate(CORPUS).report
+        text = report.describe()
+        assert str(report.n_blocks) in text
+        assert "MAE" in text
+
+
+class TestDuckTyping:
+    def test_overheads_pass_through(self):
+        surrogate = fit_surrogate(CORPUS)
+        assert surrogate.call_overhead == DEFAULT_COST_MODEL.call_overhead
+        assert surrogate.return_overhead == DEFAULT_COST_MODEL.return_overhead
+
+    def test_block_cycles_clamped_to_valid_domain(self):
+        surrogate = fit_surrogate(CORPUS)
+        block = CORPUS[0].entry_procedure.cfg.block(
+            CORPUS[0].entry_procedure.cfg.entry
+        )
+        assert surrogate.block_cycles(block) >= 0
+        assert isinstance(surrogate.block_cycles(block), int)
+
+    def test_features_have_documented_layout(self):
+        block = CORPUS[0].entry_procedure.cfg.block(
+            CORPUS[0].entry_procedure.cfg.entry
+        )
+        x = block_features(block)
+        assert x.shape == (len(FEATURE_NAMES),)
+        assert x.sum() == len(block.instructions)

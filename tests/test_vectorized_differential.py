@@ -1,0 +1,459 @@
+"""Differential tests: the vectorized fleet engine against the scalar oracle.
+
+:mod:`repro.sim.vectorized` promises *bit-identity* with the scalar
+interpreter: for any grouping of motes, mote ``i`` of a vectorized fleet
+must produce exactly the :class:`RunResult` (state, cycle counters, branch
+outcomes, invocation records, energy, fault fates) and exactly the
+hardware-counter snapshot that a scalar :func:`run_program` over the same
+peripherals would.  These tests hold it to that:
+
+* the registry matrix — every workload × fault configuration × seed,
+  compared through ``run_program_batched`` on both engines (merged results
+  and hardware snapshots);
+* the per-mote contract — ``run_motes(fleet)[i] == scalar(i)`` for ragged
+  activation vectors, with and without path recording;
+* property tests over *synthetic* programs (`random_workload`) so the
+  engine is exercised on control-flow shapes nobody hand-picked;
+* eligibility — ineligible programs are reported with a reason, fall back
+  to the scalar engine under ``engine="auto"``, and raise loudly when the
+  vectorized engine is demanded explicitly.
+
+Counterexamples found by the property tests can be recorded as replayable
+fixtures: set ``REPRO_DIFF_RECORD=1`` and failing synthetic cases are
+written to ``tests/fixtures/diff_regressions/``, which
+``test_replay_recorded_regressions`` replays on every run thereafter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.faults import FaultInjector, FaultModel
+from repro.ir import BinaryOp, CFGBuilder, binop, call, const, led, sense
+from repro.ir.program import Program
+from repro.lang import compile_source
+from repro.mote import MICAZ_LIKE, TELOSB_LIKE
+from repro.obs.counters import HardwareCounters, counters_active
+from repro.sim import (
+    ENGINE_ENV_VAR,
+    resolve_engine,
+    run_motes,
+    run_program,
+    run_program_batched,
+    vectorize_eligible,
+)
+from repro.util.rng import spawn_seed_sequences
+from repro.workloads.inputs import build_sensors
+from repro.workloads.registry import all_workloads
+from repro.workloads.synthetic import random_workload
+
+WORKLOAD_NAMES = [spec.name for spec in all_workloads()]
+WORKLOADS = {spec.name: spec for spec in all_workloads()}
+
+FAULT_CONFIGS = {
+    "clean": None,
+    "radio": FaultModel(radio_loss=0.2, radio_corrupt=0.1),
+    "chaos": FaultModel(
+        radio_loss=0.1, radio_corrupt=0.05, sensor_dropout=0.08, reboot=0.04
+    ),
+}
+
+REGRESSION_DIR = Path(__file__).parent / "fixtures" / "diff_regressions"
+RECORD_ENV_VAR = "REPRO_DIFF_RECORD"
+
+
+def _factory(spec):
+    return partial(build_sensors, dict(spec.channels), "default")
+
+
+def _batched(engine, spec, fault_model, seed, activations=26, batch_size=7):
+    """One batched run under ``engine``, with hardware counters captured."""
+    hc = HardwareCounters()
+    with counters_active(hc, isolated=True):
+        result = run_program_batched(
+            spec.program(),
+            MICAZ_LIKE,
+            _factory(spec),
+            activations=activations,
+            batch_size=batch_size,
+            rng=seed,
+            record_paths=True,
+            fault_model=fault_model,
+            engine=engine,
+        )
+    return result, hc.snapshot()
+
+
+class TestRegistryMatrix:
+    """Every workload × fault config × seed: merged results and snapshots."""
+
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_CONFIGS))
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_engines_agree(self, name, fault_name):
+        spec = WORKLOADS[name]
+        fault_model = FAULT_CONFIGS[fault_name]
+        for seed in (0, 2015):
+            scalar, scalar_hw = _batched("scalar", spec, fault_model, seed)
+            vector, vector_hw = _batched("vectorized", spec, fault_model, seed)
+            assert scalar == vector
+            assert scalar_hw == vector_hw
+
+    @pytest.mark.parametrize("batch_size", (1, 5, 64))
+    def test_agreement_across_groupings(self, batch_size):
+        """Bit-identity holds whether a batch is one mote or the whole run."""
+        spec = WORKLOADS["surge"]
+        scalar, scalar_hw = _batched(
+            "scalar", spec, FAULT_CONFIGS["chaos"], 7, batch_size=batch_size
+        )
+        vector, vector_hw = _batched(
+            "vectorized", spec, FAULT_CONFIGS["chaos"], 7, batch_size=batch_size
+        )
+        assert scalar == vector
+        assert scalar_hw == vector_hw
+
+    def test_energy_and_packets_agree_exactly(self):
+        """Float energy must match to the last bit, not approximately."""
+        spec = WORKLOADS["surge"]
+        scalar, _ = _batched("scalar", spec, FAULT_CONFIGS["radio"], 3)
+        vector, _ = _batched("vectorized", spec, FAULT_CONFIGS["radio"], 3)
+        assert scalar.energy_mj == vector.energy_mj
+        assert scalar.radio_packets == vector.radio_packets
+
+
+def _per_mote_case(program, activations, seeds, fault_model=None, record_paths=False):
+    """Run a fleet and its per-mote scalar oracles on identical peripherals.
+
+    Returns ``(fleet_results, oracle_results, fleet_faults, oracle_faults)``.
+    """
+
+    def peripherals():
+        suites, injectors = [], []
+        for seed in seeds:
+            suites.append(
+                build_sensors({"ch": (512.0, 295.0)}, "uniform", rng=seed)
+            )
+            if fault_model is not None:
+                injectors.append(
+                    FaultInjector(fault_model, np.random.SeedSequence(seed + 10_000))
+                )
+            else:
+                injectors.append(None)
+        return suites, injectors
+
+    v_suites, v_injectors = peripherals()
+    fleet = run_motes(
+        program,
+        MICAZ_LIKE,
+        v_suites,
+        activations,
+        record_paths=record_paths,
+        fault_injectors=v_injectors,
+    )
+    s_suites, s_injectors = peripherals()
+    oracle = [
+        run_program(
+            program,
+            MICAZ_LIKE,
+            suite,
+            activations=acts,
+            record_paths=record_paths,
+            faults=inj,
+        )
+        for suite, acts, inj in zip(s_suites, activations, s_injectors)
+    ]
+    v_counts = [dict(i.counts) if i else None for i in v_injectors]
+    s_counts = [dict(i.counts) if i else None for i in s_injectors]
+    return fleet, oracle, v_counts, s_counts
+
+
+class TestPerMoteContract:
+    """``run_motes(fleet)[i]`` equals a scalar run of mote ``i`` alone."""
+
+    def _program(self):
+        return compile_source(
+            """
+            proc work(v) {
+                var acc = v;
+                while (acc > 200) {
+                    acc = acc / 2;
+                    send(acc);
+                }
+                return acc;
+            }
+            proc main() {
+                var r = work(sense(ch));
+                led(r & 7);
+            }
+            """,
+            "permote",
+        )
+
+    def test_ragged_activations(self):
+        program = self._program()
+        activations = [0, 1, 5, 13, 2]
+        seeds = [11, 22, 33, 44, 55]
+        fleet, oracle, _, _ = _per_mote_case(program, activations, seeds)
+        assert fleet == oracle
+
+    def test_fault_fates_per_mote(self):
+        """Every mote's injector tallies agree — faults land identically."""
+        program = self._program()
+        activations = [8, 8, 8, 8]
+        seeds = [1, 2, 3, 4]
+        fleet, oracle, v_counts, s_counts = _per_mote_case(
+            program, activations, seeds, fault_model=FAULT_CONFIGS["chaos"]
+        )
+        assert fleet == oracle
+        assert v_counts == s_counts
+
+    def test_recorded_paths_agree(self):
+        program = self._program()
+        fleet, oracle, _, _ = _per_mote_case(
+            program, [4, 4], [9, 10], record_paths=True
+        )
+        assert fleet == oracle
+        assert all(
+            rec.path is not None for result in fleet for rec in result.records
+        )
+
+    def test_other_platform(self):
+        """Bit-identity is per platform, not a micaz-only accident."""
+        program = self._program()
+        suites = [
+            build_sensors({"ch": (512.0, 295.0)}, "uniform", rng=s) for s in (5, 6)
+        ]
+        fleet = run_motes(program, TELOSB_LIKE, suites, [6, 3])
+        suites = [
+            build_sensors({"ch": (512.0, 295.0)}, "uniform", rng=s) for s in (5, 6)
+        ]
+        oracle = [
+            run_program(program, TELOSB_LIKE, suite, activations=acts)
+            for suite, acts in zip(suites, (6, 3))
+        ]
+        assert fleet == oracle
+
+
+def check_synthetic_case(seed, n_branches, activations, batch_size):
+    """Assert both engines agree on one generated program; raise if not."""
+    workload = random_workload(
+        rng=seed, n_branches=n_branches, name=f"synthetic_{seed}"
+    )
+    program = workload.program()
+    reason = vectorize_eligible(program)
+    assert reason is None, f"generated workload ineligible: {reason}"
+    factory = lambda g: workload.sensors(rng=g)
+
+    def run(engine):
+        hc = HardwareCounters()
+        with counters_active(hc, isolated=True):
+            result = run_program_batched(
+                program,
+                MICAZ_LIKE,
+                factory,
+                activations=activations,
+                batch_size=batch_size,
+                rng=seed,
+                record_paths=True,
+                fault_model=FAULT_CONFIGS["chaos"],
+                engine=engine,
+            )
+        return result, hc.snapshot()
+
+    scalar, scalar_hw = run("scalar")
+    vector, vector_hw = run("vectorized")
+    assert scalar == vector, "merged RunResult diverged"
+    assert scalar_hw == vector_hw, "hardware-counter snapshot diverged"
+
+
+def _record_regression(case: dict) -> Path:
+    REGRESSION_DIR.mkdir(parents=True, exist_ok=True)
+    path = REGRESSION_DIR / "case_{seed}_{n_branches}_{activations}_{batch_size}.json".format(
+        **case
+    )
+    path.write_text(json.dumps(case, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+class TestSyntheticPrograms:
+    """Property tests: batch(k)[i] == scalar(i) on generated control flow."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_branches=st.integers(1, 6),
+        activations=st.integers(1, 12),
+        batch_size=st.integers(1, 5),
+    )
+    def test_engines_agree_on_generated_programs(
+        self, seed, n_branches, activations, batch_size
+    ):
+        try:
+            check_synthetic_case(seed, n_branches, activations, batch_size)
+        except AssertionError:
+            if os.environ.get(RECORD_ENV_VAR, "") not in ("", "0"):
+                _record_regression(
+                    {
+                        "seed": seed,
+                        "n_branches": n_branches,
+                        "activations": activations,
+                        "batch_size": batch_size,
+                    }
+                )
+            raise
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_branches=st.integers(1, 5))
+    def test_per_mote_equality_on_generated_programs(self, seed, n_branches):
+        workload = random_workload(
+            rng=seed, n_branches=n_branches, name=f"synthetic_{seed}"
+        )
+        program = workload.program()
+        assert vectorize_eligible(program) is None
+        activations = [1, 3, 2]
+        suites = [workload.sensors(rng=seed + i) for i in range(3)]
+        fleet = run_motes(program, MICAZ_LIKE, suites, activations)
+        suites = [workload.sensors(rng=seed + i) for i in range(3)]
+        oracle = [
+            run_program(program, MICAZ_LIKE, suite, activations=acts)
+            for suite, acts in zip(suites, activations)
+        ]
+        assert fleet == oracle
+
+
+def _regression_cases():
+    if not REGRESSION_DIR.is_dir():
+        return []
+    return sorted(REGRESSION_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize(
+    "fixture", _regression_cases(), ids=lambda p: p.stem
+)
+def test_replay_recorded_regressions(fixture):
+    """Every recorded counterexample stays fixed forever."""
+    case = json.loads(fixture.read_text())
+    check_synthetic_case(
+        case["seed"], case["n_branches"], case["activations"], case["batch_size"]
+    )
+
+
+def _bounded_recursive_program() -> Program:
+    """``f(n) = n > 0 ? f(n-1) : 0`` — runs fine scalar, ineligible to vectorize.
+
+    The language front-end rejects recursion outright, so the only way such
+    a program reaches the engines is through hand-built IR.
+    """
+    fb = CFGBuilder("f")
+    fb.emit(const("zero", 0), binop(BinaryOp.GT, "going", "n", "zero"))
+    then_blk, else_blk = fb.branch("going")
+    fb.emit(const("one", 1), binop(BinaryOp.SUB, "m", "n", "one"))
+    fb.emit(call("f", dst="r", args=("m",)))
+    fb.jump("join")
+    fb.switch_to(else_blk)
+    fb.emit(const("r", 0))
+    fb.jump("join")
+    fb.block("join")
+    fb.ret("r")
+    f = fb.build(params=("n",), returns_value=True)
+
+    mb = CFGBuilder("main")
+    mb.emit(const("three", 3), call("f", dst="out", args=("three",)), led("out"))
+    mb.ret()
+    main = mb.build()
+
+    program = Program(name="bounded_recursion", entry="main")
+    program.add(f)
+    program.add(main)
+    return program
+
+
+class TestEligibility:
+    """Ineligible programs are reported, fall back on auto, and raise on demand."""
+
+    def test_all_registry_workloads_are_eligible(self):
+        for spec in all_workloads():
+            assert vectorize_eligible(spec.program()) is None
+
+    def test_recursive_program_is_rejected(self):
+        program = _bounded_recursive_program()
+        reason = vectorize_eligible(program)
+        assert reason is not None and "f" in reason
+        assert resolve_engine("auto", program) == "scalar"
+        with pytest.raises(SimulationError, match="not vectorizable"):
+            resolve_engine("vectorized", program)
+
+    def test_parameterized_entry_is_rejected(self):
+        b = CFGBuilder("main")
+        b.emit(led("x"))
+        b.ret()
+        program = Program(name="param_entry", entry="main")
+        program.add(b.build(params=("x",)))
+        reason = vectorize_eligible(program)
+        assert reason is not None and "parameters" in reason
+
+    def test_possibly_unbound_register_is_rejected(self):
+        b = CFGBuilder("main")
+        b.emit(sense("v", "ch"), const("t", 100), binop(BinaryOp.GT, "hot", "v", "t"))
+        then_blk, else_blk = b.branch("hot")
+        b.emit(const("x", 1))  # "x" assigned on the then arm only
+        b.jump("join")
+        b.switch_to(else_blk)
+        b.jump("join")
+        b.block("join")
+        b.emit(led("x"))
+        b.ret()
+        program = Program(name="maybe_unbound", entry="main")
+        program.add(b.build())
+        reason = vectorize_eligible(program)
+        assert reason is not None and "unbound" in reason
+
+    def test_explicit_vectorized_on_ineligible_program_raises_in_driver(self):
+        with pytest.raises(SimulationError, match="not vectorizable"):
+            run_program_batched(
+                _bounded_recursive_program(),
+                MICAZ_LIKE,
+                lambda g: build_sensors({}, "default", rng=g),
+                activations=2,
+                batch_size=1,
+                rng=0,
+                engine="vectorized",
+            )
+
+    def test_auto_falls_back_and_matches_scalar(self):
+        """Ineligible + auto = the scalar path, bit for bit."""
+        program = _bounded_recursive_program()
+        factory = partial(build_sensors, {"ch": (512.0, 295.0)}, "uniform")
+        runs = [
+            run_program_batched(
+                program, MICAZ_LIKE, factory,
+                activations=9, batch_size=4, rng=5, engine=engine,
+            )
+            for engine in ("auto", "scalar")
+        ]
+        assert runs[0] == runs[1]
+
+    def test_env_override_forces_engine(self, monkeypatch):
+        spec = WORKLOADS["sense"]
+        program = spec.program()
+        monkeypatch.setenv(ENGINE_ENV_VAR, "scalar")
+        assert resolve_engine("auto", program) == "scalar"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "vectorized")
+        assert resolve_engine("auto", program) == "vectorized"
+        # Explicit engine choices ignore the override.
+        assert resolve_engine("scalar", program) == "scalar"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "warp")
+        with pytest.raises(SimulationError, match=ENGINE_ENV_VAR):
+            resolve_engine("auto", program)
+
+    def test_unknown_engine_name_rejected(self):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            resolve_engine("cuda", WORKLOADS["sense"].program())
