@@ -9,20 +9,33 @@ telemetry off and with a live tracer + metrics registry, interleaved
 runtime must stay within 5% of the median plain runtime (plus a small
 absolute slack so sub-second timer noise cannot flake the suite).
 
-The measured ratio is recorded to ``benchmarks/results/obs.txt``.  Unlike
-the experiment renders, that file carries wall-clock — host-dependent by
-nature — so it is deliberately *not* a golden file
-(``tests/test_golden_results.py`` skips it).
+The estimator-health layer (docs/health.md) extends the same promise to
+the serve path: attaching an :class:`~repro.obs.health.EstimatorHealthMonitor`
+to every tenant — drift detectors, CI-calibration audit, SLO checks — must
+keep a fleet ingest run within the same 5% of its health-off baseline, and
+must not perturb a single estimate bit.  The second benchmark pins that.
+
+The measured ratios are recorded to ``benchmarks/results/obs.txt`` and
+``benchmarks/results/obs_health.txt``.  Unlike the experiment renders,
+those files carry wall-clock — host-dependent by nature — so they are
+deliberately *not* golden files (``tests/test_golden_results.py`` skips
+them).
 """
 
 from __future__ import annotations
 
+import asyncio
 import statistics
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.experiments import fig_f1_accuracy
 from repro.obs import MetricsRegistry, Tracer, metrics_active, tracing
+from repro.obs.health import HealthConfig
+from repro.serve.loadgen import build_uploads, default_fleet, run_fleet
+from repro.serve.service import ServiceConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -83,5 +96,75 @@ def test_obs_overhead_under_five_percent(benchmark, experiment_config):
 
     assert observed <= plain * MAX_RATIO + ABS_SLACK_SECONDS, (
         f"telemetry overhead too high: observed {observed:.3f}s vs "
+        f"plain {plain:.3f}s (ratio {ratio:.3f}, bound {MAX_RATIO})"
+    )
+
+
+def test_serve_health_overhead_under_five_percent(benchmark):
+    fleet = default_fleet(
+        n_tenants=2, n_motes=25, shards_per_mote=8, samples_per_proc=4, seed=2015
+    )
+    build_uploads(fleet)  # workload simulation is loadgen's cost, not health's
+
+    def run_arm(health: HealthConfig | None):
+        # Time the service's own measured window (submit + absorb + drain).
+        # Tenant registration and upload generation are the load generator's
+        # cost — with health on, registration also computes each tenant's
+        # ground truth for the calibration audit, which a real deployment
+        # never pays — so they stay outside the timed window, exactly as in
+        # ``bench_serve.py``.
+        config = ServiceConfig(n_workers=2, max_batch=16, health=health)
+        report = asyncio.run(run_fleet(fleet, config))
+        return report.wall_s, report
+
+    def measure():
+        plain_times, monitored_times = [], []
+        plain_report = monitored_report = None
+        for _ in range(REPEATS):
+            seconds, plain_report = run_arm(None)
+            plain_times.append(seconds)
+            seconds, monitored_report = run_arm(HealthConfig())
+            monitored_times.append(seconds)
+        return plain_times, monitored_times, plain_report, monitored_report
+
+    run_arm(None)  # warm-up outside the measurement
+
+    plain_times, monitored_times, plain_report, monitored_report = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    plain = statistics.median(plain_times)
+    monitored = statistics.median(monitored_times)
+    ratio = monitored / plain
+
+    # Observational purity first: monitors never touch the estimates.
+    assert sorted(monitored_report.estimates) == sorted(plain_report.estimates)
+    for name, plain_estimate in plain_report.estimates.items():
+        monitored_estimate = monitored_report.estimates[name]
+        for proc, theta in plain_estimate.thetas.items():
+            assert np.array_equal(theta, monitored_estimate.thetas[proc])
+        for proc, hw in plain_estimate.half_widths.items():
+            assert np.array_equal(hw, monitored_estimate.half_widths[proc])
+
+    # ... and the monitors really were watching.
+    health = monitored_report.stats.get("health", {})
+    assert len(health) == 2
+    assert all(entry["shards_absorbed"] > 0 for entry in health.values())
+    assert "health" not in plain_report.stats
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs_health.txt").write_text(
+        "== OBS: estimator-health overhead on serve ingest "
+        "(not a golden file; wall-clock) ==\n"
+        f"plain_median_s      {plain:.3f}\n"
+        f"monitored_median_s  {monitored:.3f}\n"
+        f"ratio               {ratio:.4f}\n"
+        f"shards_absorbed     "
+        f"{sum(e['shards_absorbed'] for e in health.values())}\n"
+        f"repeats             {REPEATS}\n"
+        f"bound               ratio <= {MAX_RATIO} (+{ABS_SLACK_SECONDS}s slack)\n"
+    )
+
+    assert monitored <= plain * MAX_RATIO + ABS_SLACK_SECONDS, (
+        f"health-monitoring overhead too high: monitored {monitored:.3f}s vs "
         f"plain {plain:.3f}s (ratio {ratio:.3f}, bound {MAX_RATIO})"
     )

@@ -9,13 +9,18 @@ path-qualified message on the first structural violation (see
     python scripts/check_obs_artifacts.py \
         --trace trace.jsonl [--trace-format jsonl|chrome] \
         --metrics metrics.json [--require-coverage] \
-        --hw-counters snapshot.json --bench BENCH_2026-08-06.json
+        --hw-counters snapshot.json --bench BENCH_2026-08-06.json \
+        --health health.json --alerts alerts.jsonl
 
 ``--require-coverage`` additionally asserts the span names prove the trace
 covered the engine, sim and estimator layers.  ``--hw-counters`` validates a
 hardware-counter snapshot (``benchmarks/results/counters/*.json`` or any
 file holding a ``repro.hwcounters/1`` object); ``--bench`` validates a
-``BENCH_<date>.json`` history file written by ``scripts/bench_track.py``.
+``BENCH_<date>.json`` history file written by ``scripts/bench_track.py``;
+``--health`` validates a standalone fleet health report
+(``repro.health-report/1``) and ``--alerts`` a JSONL alert log
+(``repro.health-alert/1`` lines), both as written by ``repro-serve`` /
+``repro-health``.
 """
 
 from __future__ import annotations
@@ -26,8 +31,10 @@ import sys
 from repro.obs.validate import (
     ArtifactError,
     require_span_coverage,
+    validate_alert_log,
     validate_bench_file,
     validate_chrome_trace,
+    validate_health_report,
     validate_hw_counters_file,
     validate_metrics_file,
     validate_trace_jsonl,
@@ -58,6 +65,18 @@ def main(argv=None) -> int:
         help="BENCH_<date>.json benchmark-history file to validate",
     )
     parser.add_argument(
+        "--health",
+        default=None,
+        metavar="PATH",
+        help="fleet health-report JSON to validate",
+    )
+    parser.add_argument(
+        "--alerts",
+        default=None,
+        metavar="PATH",
+        help="JSONL health-alert log to validate",
+    )
+    parser.add_argument(
         "--require-coverage",
         action="store_true",
         help="assert the trace covers the engine, sim and estimator layers",
@@ -65,10 +84,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if all(
         value is None
-        for value in (args.trace, args.metrics, args.hw_counters, args.bench)
+        for value in (
+            args.trace,
+            args.metrics,
+            args.hw_counters,
+            args.bench,
+            args.health,
+            args.alerts,
+        )
     ):
         parser.error(
-            "nothing to check; pass --trace, --metrics, --hw-counters and/or --bench"
+            "nothing to check; pass --trace, --metrics, --hw-counters, "
+            "--bench, --health and/or --alerts"
         )
 
     try:
@@ -91,7 +118,20 @@ def main(argv=None) -> int:
                 f"{summary['histograms']} histograms, "
                 f"manifest={'yes' if summary['has_manifest'] else 'no'}, "
                 f"hw-counters={'yes' if summary['has_hw_counters'] else 'no'}, "
-                f"serve={'yes' if summary['has_serve'] else 'no'}"
+                f"serve={'yes' if summary['has_serve'] else 'no'}, "
+                f"health={'yes' if summary['has_health'] else 'no'}"
+            )
+        if args.health is not None:
+            summary = validate_health_report(args.health)
+            print(
+                f"{args.health}: OK — {summary['tenants']} tenant(s), "
+                f"{summary['alerts']} alert(s)"
+            )
+        if args.alerts is not None:
+            summary = validate_alert_log(args.alerts)
+            kinds = ", ".join(sorted(summary["kinds"])) or "none"
+            print(
+                f"{args.alerts}: OK — {summary['alerts']} alert(s), kinds: {kinds}"
             )
         if args.hw_counters is not None:
             summary = validate_hw_counters_file(args.hw_counters)

@@ -37,7 +37,7 @@ the trajectory is a pure function of the shard sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -52,6 +52,9 @@ from repro.placement.layout import ProgramLayout
 from repro.profiling.budget import SampleBudget
 from repro.profiling.timing_profiler import TimingDataset
 from repro.sim.timing import ProgramTimingModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.health import EstimatorHealthMonitor
 
 __all__ = [
     "OnlineOptions",
@@ -181,6 +184,33 @@ class OnlineEstimator:
         self._family_means: dict[str, np.ndarray] = {}
         self._half_width: dict[str, np.ndarray] = {}
         self._trajectory: list[ShardEstimate] = []
+        # Health attachment (observational only — never feeds back into the
+        # fit, so trajectories are identical with or without a monitor).
+        self._health: Optional["EstimatorHealthMonitor"] = None
+        self._moments: dict[str, RewardMoments] = {}
+        self._arm_counts: dict[str, np.ndarray] = {}
+
+    # -- health -------------------------------------------------------------
+
+    def attach_health(
+        self, monitor: "EstimatorHealthMonitor"
+    ) -> "EstimatorHealthMonitor":
+        """Attach an :class:`~repro.obs.health.EstimatorHealthMonitor`.
+
+        The monitor observes every subsequent :meth:`absorb`: pre-refit
+        innovation signals (shard means vs. the previous iterate's predicted
+        moments) feed its drift detectors, and the post-refit point feeds
+        its coverage audit and staleness gauges.  Monitors are not part of
+        :meth:`checkpoint` — re-attach after :meth:`resume` to keep detector
+        state across a handoff (the first post-resume shard has no stored
+        moments, so it contributes no drift signal).
+        """
+        self._health = monitor
+        return monitor
+
+    @property
+    def health(self) -> Optional["EstimatorHealthMonitor"]:
+        return self._health
 
     # -- absorbing shards ---------------------------------------------------
 
@@ -201,6 +231,15 @@ class OnlineEstimator:
         }
         index = len(self._shards)
         self._shards.append(arrays)
+        signals: dict[str, float] = {}
+        if self._health is not None and self._moments:
+            # Innovations against the *previous* iterate's predictions, before
+            # this shard touches the fit — the drift detectors' input.
+            from repro.obs.health import residual_signals
+
+            signals = residual_signals(
+                self._moments, arrays, self._health.config.min_signal_samples
+            )
         prev_counts = {name: int(xs.size) for name, xs in self._samples.items()}
         for name, xs in arrays.items():
             held = self._samples.get(name)
@@ -219,6 +258,10 @@ class OnlineEstimator:
         obs.inc("online.family_reuses", point.families_reused)
         obs.inc("online.family_rebuilds", point.families_rebuilt)
         self._trajectory.append(point)
+        if self._health is not None:
+            self._health.observe_absorb(
+                point, signals=signals, arm_counts=self._arm_counts
+            )
         return point
 
     def absorb_batch(
@@ -250,6 +293,7 @@ class OnlineEstimator:
         """
         opts = self.options
         callee_moments: dict[str, RewardMoments] = {}
+        arm_counts: dict[str, np.ndarray] = {}
         em_iterations = 0
         reused = 0
         rebuilt = 0
@@ -302,7 +346,13 @@ class OnlineEstimator:
             self._theta[name] = result.theta
             self._family[name] = family
             self._half_width[name] = self._ci_half_width(result.theta, result.arm_counts)
+            if result.arm_counts is not None:
+                arm_counts[name] = np.asarray(result.arm_counts, dtype=float).copy()
             callee_moments[name] = model.moments(result.theta)
+        # Post-refit predictions and effective counts, kept for the health
+        # monitor: the next shard's innovations are judged against these.
+        self._moments = callee_moments
+        self._arm_counts = arm_counts
         return self._trajectory_point(shard_index, em_iterations, reused, rebuilt)
 
     def _reusable_family(

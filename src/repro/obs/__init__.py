@@ -4,7 +4,9 @@ The observability layer for the reproduction's own pipeline ("profile the
 profiler"): nestable spans with JSONL/Chrome-trace exporters
 (:mod:`repro.obs.trace`), a counters/gauges/histograms registry
 (:mod:`repro.obs.metrics`), the run manifest (:mod:`repro.obs.manifest`),
-and artifact validators (:mod:`repro.obs.validate`).
+estimator-health monitoring — drift detectors, CI-calibration audits and
+structured alerts (:mod:`repro.obs.health`) — and artifact validators
+(:mod:`repro.obs.validate`).
 
 The contract every instrumented module leans on: **telemetry off (the
 default) is a strict no-op** — no RNG draws, no table changes, near-zero
@@ -55,12 +57,29 @@ from repro.obs.trace import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.health import (
+    ALERT_SCHEMA,
+    REPORT_SCHEMA,
+    AlertEvent,
+    CoverageAudit,
+    Cusum,
+    EstimatorHealthMonitor,
+    HealthConfig,
+    PageHinkley,
+    build_health_report,
+    read_alert_log,
+    residual_signals,
+    write_alert_log,
+)
 from repro.obs.validate import (
     ArtifactError,
     require_span_coverage,
+    validate_alert_log,
     validate_bench_file,
     validate_chrome_trace,
     validate_counter_snapshot,
+    validate_health_report,
+    validate_health_summary,
     validate_hw_counters_file,
     validate_metrics_file,
     validate_serve_stats,
@@ -105,11 +124,26 @@ __all__ = [
     "tracing",
     "write_chrome_trace",
     "write_jsonl",
+    "ALERT_SCHEMA",
+    "REPORT_SCHEMA",
+    "AlertEvent",
+    "CoverageAudit",
+    "Cusum",
+    "EstimatorHealthMonitor",
+    "HealthConfig",
+    "PageHinkley",
+    "build_health_report",
+    "read_alert_log",
+    "residual_signals",
+    "write_alert_log",
     "ArtifactError",
     "require_span_coverage",
+    "validate_alert_log",
     "validate_bench_file",
     "validate_chrome_trace",
     "validate_counter_snapshot",
+    "validate_health_report",
+    "validate_health_summary",
     "validate_hw_counters_file",
     "validate_metrics_file",
     "validate_serve_stats",

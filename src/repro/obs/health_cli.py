@@ -1,0 +1,221 @@
+"""CLI for fleet estimator-health reports (installed as ``repro-health``).
+
+Examples::
+
+    repro-health --report health.json                 # render a saved report
+    repro-health --stats serve_metrics.json           # report from a metrics file
+    repro-health --stats run.json --alerts alerts.jsonl --json health.json
+    repro-health --report health.json --check         # CI gate: healthy or exit 1
+    repro-health --report health.json --check --expect-drift   # drift drill gate
+
+The command renders one fleet health report — per-tenant drift scores,
+CI-calibration coverage, staleness and SLO state, plus the fleet rollup —
+from either a saved ``repro.health-report/1`` artifact (``--report``) or any
+JSON file carrying per-tenant health summaries (``--stats``): a ``--metrics``
+file from ``repro-serve``/``repro-experiments``, a raw ``stats`` wire
+response, or a ``repro-serve --json`` fleet report.  ``--alerts`` folds a
+JSONL alert log into the assembled report.
+
+``--check`` turns the render into a pass/fail gate: exit 1 when the fleet is
+unhealthy (drift alarms, health alerts, or a breached SLO), exit 0 when
+clean.  ``--expect-drift`` flips the drift clause for injected-drift drills:
+the gate *fails unless* at least one drift alarm fired (coverage alerts are
+tolerated too — degraded coverage against base-regime truth is exactly what
+an injected drift causes), while staleness/SLO alerts still fail.  Exit 2 on
+usage errors, 1 on unreadable or invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.health import build_health_report, read_alert_log
+from repro.obs.validate import ArtifactError, _check_health_report
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-health",
+        description="Render (and optionally gate on) a fleet estimator-health "
+        "report.",
+        epilog="exit codes: 0 healthy (or no --check); 1 unhealthy or invalid "
+        "input; 2 usage error",
+    )
+    source = parser.add_argument_group("input")
+    source.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="a saved repro.health-report/1 JSON artifact",
+    )
+    source.add_argument(
+        "--stats", type=Path, default=None, metavar="PATH",
+        help="any JSON carrying tenant health summaries: a --metrics file, a "
+        "stats wire response, or a repro-serve --json report",
+    )
+    source.add_argument(
+        "--alerts", type=Path, default=None, metavar="PATH",
+        help="JSONL alert log to fold into the report (see repro-serve "
+        "--alert-log)",
+    )
+    gate = parser.add_argument_group("gate")
+    gate.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the fleet is healthy",
+    )
+    gate.add_argument(
+        "--expect-drift", action="store_true",
+        help="with --check: require at least one drift alarm (injected-drift "
+        "drill) and tolerate drift/coverage alerts",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH", dest="json_path",
+        help="write the (normalized) health report to PATH",
+    )
+    return parser
+
+
+def _summaries_of(payload: dict, where: str) -> dict:
+    """Pull tenant health summaries out of any of the accepted JSON shapes."""
+    if "health" in payload and isinstance(payload["health"], dict):
+        health = payload["health"]
+        # A --metrics file's "health" key is a full report; a stats payload's
+        # is the plain tenant->summary mapping.
+        if health.get("schema") and "tenants" in health:
+            return dict(health["tenants"])
+        return dict(health)
+    if "serve" in payload and isinstance(payload["serve"], dict):
+        return _summaries_of(payload["serve"], where)
+    if "stats" in payload and isinstance(payload["stats"], dict):
+        return _summaries_of(payload["stats"], where)
+    raise ArtifactError(
+        f"{where}: no health summaries found (expected a 'health' key; was "
+        "the run made with health monitoring enabled?)"
+    )
+
+
+def _load_report(args: argparse.Namespace) -> dict:
+    if args.report is not None:
+        payload = json.loads(args.report.read_text())
+        _check_health_report(payload, args.report.name)
+        return payload
+    payload = json.loads(args.stats.read_text())
+    summaries = _summaries_of(payload, args.stats.name)
+    alerts = read_alert_log(args.alerts) if args.alerts is not None else ()
+    report = build_health_report(summaries, alerts=alerts)
+    _check_health_report(report, args.stats.name)
+    return report
+
+
+def _render(report: dict) -> None:
+    fleet = report["fleet"]
+    print(
+        f"fleet: {fleet['tenants']} tenant(s), max drift score "
+        f"{fleet['max_drift_score']:.2f}, {fleet['drift_alarms']} drift "
+        f"alarm(s), {fleet['alerts']} alert(s)"
+    )
+    coverage = fleet["coverage"]
+    if coverage is None:
+        print("coverage: n/a (no audited checks)")
+    else:
+        print(
+            f"coverage: {coverage:.3f} over {fleet['coverage_checks']} checks "
+            f"(nominal {report['nominal_coverage']:.2f}, worst tenant "
+            f"{fleet['worst_coverage']:.3f})"
+        )
+    for name in sorted(report["tenants"]):
+        summary = report["tenants"][name]
+        cov = summary["coverage"]
+        staleness = summary["staleness_s"]
+        slo = summary.get("slo", {}).get("state", "-")
+        print(
+            f"  {name}: drift {summary['drift_score']:.2f} "
+            f"({summary['drift_alarms']} alarm(s)), coverage "
+            + ("n/a" if cov is None else f"{cov:.3f}")
+            + f"/{summary['coverage_checks']}, staleness "
+            + ("-" if staleness is None else f"{staleness:.1f}s")
+            + f", slo {slo}, {summary['alerts']} alert(s)"
+        )
+    for alert in report["alerts"]:
+        tag = f" {alert['procedure']}" if alert.get("procedure") else ""
+        print(
+            f"  alert [{alert['severity']}] {alert['kind']} "
+            f"{alert['source']}{tag}: {alert['value']:.4g} vs threshold "
+            f"{alert['threshold']:.4g}"
+            + (f" — {alert['detail']}" if alert.get("detail") else "")
+        )
+
+
+def _problems(report: dict, expect_drift: bool) -> list[str]:
+    fleet = report["fleet"]
+    problems = []
+    alert_kinds = {alert["kind"] for alert in report["alerts"]}
+    if expect_drift:
+        if fleet["drift_alarms"] < 1:
+            problems.append("expected a drift alarm; the detectors stayed quiet")
+        tolerated = {"drift", "coverage"}
+        bad = sorted(alert_kinds - tolerated)
+        if bad:
+            problems.append(f"unexpected alert kind(s): {', '.join(bad)}")
+    else:
+        if fleet["drift_alarms"] > 0:
+            problems.append(f"{fleet['drift_alarms']} drift alarm(s)")
+        tenant_alerts = sum(s["alerts"] for s in report["tenants"].values())
+        total_alerts = max(fleet["alerts"], tenant_alerts)
+        if total_alerts > 0:
+            kinds = f" ({', '.join(sorted(alert_kinds))})" if alert_kinds else ""
+            problems.append(f"{total_alerts} health alert(s){kinds}")
+    for name in sorted(report["tenants"]):
+        if report["tenants"][name].get("slo", {}).get("state") == "breached":
+            problems.append(f"{name}: SLO breached")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if (args.report is None) == (args.stats is None):
+        print("pass exactly one of --report or --stats", file=sys.stderr)
+        return 2
+    if args.expect_drift and not args.check:
+        print("--expect-drift only makes sense with --check", file=sys.stderr)
+        return 2
+    for flag, path in (
+        ("--report", args.report), ("--stats", args.stats), ("--alerts", args.alerts)
+    ):
+        if path is not None and not path.is_file():
+            print(f"{flag}: no such file: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        report = _load_report(args)
+    except (ArtifactError, OSError, json.JSONDecodeError) as exc:
+        print(f"health report FAILED to load: {exc}", file=sys.stderr)
+        return 1
+
+    _render(report)
+    if args.json_path is not None:
+        try:
+            args.json_path.write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            print(f"--json: could not write {args.json_path}: {exc}", file=sys.stderr)
+            return 1
+
+    if args.check:
+        problems = _problems(report, args.expect_drift)
+        if problems:
+            for problem in problems:
+                print(f"UNHEALTHY: {problem}", file=sys.stderr)
+            return 1
+        print("healthy" + (" (drift detected, as expected)" if args.expect_drift else ""))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -153,14 +153,12 @@ class MetricsRegistry:
 
         Histogram bucket layouts must match (they do, by the fixed-bucket
         rule); a mismatched layout raises :class:`~repro.errors.ObsError`
-        rather than silently misbinning.  The counts vector is checked
-        against the bounds *before* any bucket is touched, so a malformed
-        snapshot can never leave this registry partially merged.
+        rather than silently misbinning.  The merge is **atomic across the
+        whole snapshot**: every histogram entry is validated against this
+        registry *before* any counter, gauge or bucket is touched, so a
+        malformed snapshot can never leave the registry partially merged.
         """
-        for name, value in snap.get("counters", {}).items():
-            self.counter(name).value += value
-        for name, value in snap.get("gauges", {}).items():
-            self.gauge(name).set(value)
+        validated: list[tuple[str, list[float], dict]] = []
         for name, data in snap.get("histograms", {}).items():
             bounds = [float(b) for b in data["bounds"]]
             if len(data["counts"]) != len(bounds) + 1:
@@ -169,13 +167,21 @@ class MetricsRegistry:
                     f"buckets for {len(bounds)} bounds (want {len(bounds) + 1}); "
                     "refusing a misaligned merge"
                 )
-            hist = self.histogram(name, bounds)
-            if list(hist.bounds) != bounds:
+            with self._lock:
+                held = self._histograms.get(name)
+            if held is not None and list(held.bounds) != bounds:
                 raise ObsError(
                     f"histogram {name!r}: bucket bounds differ between processes "
-                    f"({list(hist.bounds)} vs {bounds}); merging would misbin "
+                    f"({list(held.bounds)} vs {bounds}); merging would misbin "
                     "every observation"
                 )
+            validated.append((name, bounds, data))
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, bounds, data in validated:
+            hist = self.histogram(name, bounds)
             for i, count in enumerate(data["counts"]):
                 hist.counts[i] += count
             hist.total += data["sum"]
@@ -237,6 +243,7 @@ def write_metrics(
     manifest: Optional[dict] = None,
     hardware_counters: Optional[dict] = None,
     serve: Optional[dict] = None,
+    health: Optional[dict] = None,
 ) -> Path:
     """Write the registry snapshot (plus an optional run manifest) as JSON.
 
@@ -245,9 +252,10 @@ def write_metrics(
     its own key when the run captured mote-level counters; ``serve`` — an
     ingestion-service stats payload
     (:meth:`repro.serve.service.IngestionService.stats_payload`) — likewise
-    for service runs.  These four keys are the file's complete top-level
-    vocabulary; :func:`repro.obs.validate.validate_metrics_file` rejects
-    anything else.
+    for service runs; ``health`` — a fleet health report
+    (:func:`repro.obs.health.build_health_report`) — for monitored runs.
+    These five keys are the file's complete top-level vocabulary;
+    :func:`repro.obs.validate.validate_metrics_file` rejects anything else.
     """
     path = Path(path)
     payload: dict = {"metrics": registry.snapshot()}
@@ -257,5 +265,7 @@ def write_metrics(
         payload["hardware_counters"] = hardware_counters
     if serve is not None:
         payload["serve"] = serve
+    if health is not None:
+        payload["health"] = health
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
+from repro.errors import ObsError
+
 __all__ = [
     "SpanRecord",
     "Tracer",
@@ -138,6 +140,7 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._pid = os.getpid()
         self._seq = 0
+        self._open = 0  # spans opened but not yet closed, across all threads
         self._tids: dict[int, int] = {}  # thread ident -> small stable int
 
     # -- internals -----------------------------------------------------------
@@ -174,12 +177,16 @@ class Tracer:
         seq = self._next_seq()
         handle = _OpenSpan(dict(attrs))
         stack.append(name)
+        with self._lock:
+            self._open += 1
         start = self._now()
         try:
             yield handle
         finally:
             end = self._now()
             stack.pop()
+            with self._lock:
+                self._open -= 1
             record = SpanRecord(
                 name=name,
                 start=start,
@@ -208,6 +215,12 @@ class Tracer:
         )
         with self._lock:
             self.spans.append(record)
+
+    @property
+    def open_spans(self) -> int:
+        """Spans currently open (entered but not exited), across all threads."""
+        with self._lock:
+            return self._open
 
     # -- merging -------------------------------------------------------------
 
@@ -295,18 +308,42 @@ def instant(name: str, **attrs) -> None:
 # --------------------------------------------------------------------------
 
 
+def _span_buffer(spans: Union[Tracer, Sequence[SpanRecord]]) -> Sequence[SpanRecord]:
+    """Resolve an exporter's input to a finished-span buffer.
+
+    Exporters accept either a raw :class:`SpanRecord` sequence or a whole
+    :class:`Tracer`.  Handing over a tracer with spans still *open* —
+    flushing from inside a ``with span(...)`` body, or from another thread
+    mid-span — raises :class:`~repro.errors.ObsError`: those spans only
+    record at close, so the export would silently omit in-flight work and
+    read as a complete timeline when it is not.
+    """
+    if isinstance(spans, Tracer):
+        open_count = spans.open_spans
+        if open_count:
+            raise ObsError(
+                f"tracer has {open_count} span(s) still open (unbalanced stack "
+                "at flush time); close them before exporting, or pass "
+                "tracer.spans explicitly to export the finished spans only"
+            )
+        return spans.spans
+    return spans
+
+
 def write_jsonl(
     path: Union[str, Path],
-    spans: Sequence[SpanRecord],
+    spans: Union[Tracer, Sequence[SpanRecord]],
     manifest: Optional[dict] = None,
 ) -> Path:
     """Write spans as JSON lines, one record per line, in ``seq`` order.
 
     When ``manifest`` is given it becomes the first line (tagged
     ``"type": "manifest"``) so a stream reader has run identity before the
-    first span.
+    first span.  ``spans`` may be a :class:`Tracer`, in which case it must
+    have no open spans (see :func:`_span_buffer`).
     """
     path = Path(path)
+    spans = _span_buffer(spans)
     lines = []
     if manifest is not None:
         lines.append(json.dumps({"type": "manifest", **manifest}, sort_keys=True))
@@ -316,7 +353,7 @@ def write_jsonl(
     return path
 
 
-def chrome_trace_events(spans: Sequence[SpanRecord]) -> list[dict]:
+def chrome_trace_events(spans: Union[Tracer, Sequence[SpanRecord]]) -> list[dict]:
     """Spans as Chrome ``trace_event`` complete events (``"ph": "X"``).
 
     Timestamps convert to integer microseconds; events are sorted by
@@ -324,6 +361,7 @@ def chrome_trace_events(spans: Sequence[SpanRecord]) -> list[dict]:
     every (pid, tid) track — the property ``chrome://tracing`` and Perfetto
     rely on for stream ingestion.
     """
+    spans = _span_buffer(spans)
     events = []
     for record in spans:
         events.append(
@@ -344,11 +382,12 @@ def chrome_trace_events(spans: Sequence[SpanRecord]) -> list[dict]:
 
 def write_chrome_trace(
     path: Union[str, Path],
-    spans: Sequence[SpanRecord],
+    spans: Union[Tracer, Sequence[SpanRecord]],
     manifest: Optional[dict] = None,
 ) -> Path:
     """Write the Chrome/Perfetto ``trace_event`` JSON object format."""
     path = Path(path)
+    spans = _span_buffer(spans)
     payload = {
         "traceEvents": chrome_trace_events(spans),
         "displayTimeUnit": "ms",

@@ -21,6 +21,7 @@ from typing import Union
 
 from repro.obs.bench_history import BENCH_SCHEMA
 from repro.obs.counters import SNAPSHOT_SCHEMA
+from repro.obs.health import ALERT_KINDS, ALERT_SCHEMA, REPORT_SCHEMA, SEVERITIES
 
 __all__ = [
     "ArtifactError",
@@ -29,6 +30,9 @@ __all__ = [
     "validate_metrics_file",
     "validate_counter_snapshot",
     "validate_serve_stats",
+    "validate_health_summary",
+    "validate_health_report",
+    "validate_alert_log",
     "validate_hw_counters_file",
     "validate_bench_file",
     "require_span_coverage",
@@ -42,7 +46,7 @@ SERVE_SCHEMA = "repro.serve/1"
 #: The complete top-level key vocabulary of a ``--metrics`` file.  The
 #: validator *rejects* anything else: a typo'd or half-renamed embed key
 #: should fail CI's artifact check, not silently ride along unvalidated.
-METRICS_FILE_KEYS = ("metrics", "manifest", "hardware_counters", "serve")
+METRICS_FILE_KEYS = ("metrics", "manifest", "hardware_counters", "serve", "health")
 
 #: Span-name prefixes that prove the trace covered a pipeline layer.
 LAYER_PREFIXES = {
@@ -195,12 +199,15 @@ def validate_metrics_file(path: Union[str, Path]) -> dict:
         )
     if "serve" in payload:
         validate_serve_stats(payload["serve"], f"{path.name}: serve")
+    if "health" in payload:
+        _check_health_report(payload["health"], f"{path.name}: health")
     return {
         "counters": len(counters),
         "histograms": len(histograms),
         "has_manifest": "manifest" in payload,
         "has_hw_counters": "hardware_counters" in payload,
         "has_serve": "serve" in payload,
+        "has_health": "health" in payload,
     }
 
 
@@ -250,9 +257,10 @@ def validate_serve_stats(embed, where: str) -> dict:
     """Validate an ingestion-service stats embed (``--metrics`` ``serve`` key).
 
     Shape (see :meth:`repro.serve.service.IngestionService.stats_payload`):
-    ``{"schema": "repro.serve/1", "workers": int>=1, "totals": {...},
-    "tenants": {tenant: {...}}, "latency": {pXX_ms: float>=0}}``.
-    Returns a tiny summary.
+    ``{"schema": "repro.serve/1", "workers": int>=1, "uptime_s": float>=0,
+    "totals": {...}, "tenants": {tenant: {...}},
+    "latency": {pXX_ms: float>=0}}`` plus an optional ``health`` mapping of
+    tenant to health summary.  Returns a tiny summary.
     """
     if not isinstance(embed, dict):
         raise ArtifactError(f"{where}: serve stats must be an object")
@@ -262,6 +270,11 @@ def validate_serve_stats(embed, where: str) -> dict:
     workers = _need(embed, "workers", int, where)
     if isinstance(workers, bool) or workers < 1:
         raise ArtifactError(f"{where}: workers must be a positive int, got {workers!r}")
+    uptime = _need(embed, "uptime_s", (int, float), where)
+    if isinstance(uptime, bool) or uptime < 0:
+        raise ArtifactError(
+            f"{where}: uptime_s must be a non-negative number, got {uptime!r}"
+        )
 
     def _tallies(mapping: dict, sub_where: str) -> None:
         for name, value in mapping.items():
@@ -282,7 +295,158 @@ def validate_serve_stats(embed, where: str) -> dict:
         _tallies(row, f"{where}: tenants[{tenant!r}]")
     latency = _need(embed, "latency", dict, where)
     _tallies(latency, f"{where}: latency")
-    return {"workers": workers, "tenants": len(tenants)}
+    if "health" in embed:
+        health = _need(embed, "health", dict, where)
+        for tenant, summary in health.items():
+            validate_health_summary(summary, f"{where}: health[{tenant!r}]")
+    return {
+        "workers": workers,
+        "tenants": len(tenants),
+        "has_health": "health" in embed,
+    }
+
+
+def validate_health_summary(summary, where: str) -> dict:
+    """Validate one tenant health summary (a health-report tenant row).
+
+    Shape (see :meth:`repro.obs.health.EstimatorHealthMonitor.summary`):
+    numeric gauges plus an optional ``slo`` sub-object; ``coverage`` and
+    ``staleness_s`` may be ``null`` (not yet measurable).
+    """
+    if not isinstance(summary, dict):
+        raise ArtifactError(f"{where}: health summary must be an object")
+
+    def _gauge(key, allow_none=False):
+        value = _need(summary, key, object, where)
+        if value is None and allow_none:
+            return value
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            raise ArtifactError(
+                f"{where}: {key!r} must be a non-negative number, got {value!r}"
+            )
+        return value
+
+    _gauge("drift_score")
+    _gauge("drift_alarms")
+    _gauge("shards_absorbed")
+    _gauge("samples_absorbed")
+    _gauge("shards_since_rebuild")
+    _gauge("staleness_s", allow_none=True)
+    coverage = _gauge("coverage", allow_none=True)
+    if coverage is not None and coverage > 1.0:
+        raise ArtifactError(f"{where}: coverage must lie in [0, 1], got {coverage!r}")
+    _gauge("coverage_checks")
+    _gauge("alerts")
+    procs = _need(summary, "alarmed_procedures", list, where)
+    for proc in procs:
+        if not isinstance(proc, str):
+            raise ArtifactError(
+                f"{where}: alarmed_procedures entries must be strings, got {proc!r}"
+            )
+    if "slo" in summary:
+        slo = _need(summary, "slo", dict, where)
+        for key, value in slo.items():
+            if key == "state":
+                if value not in ("ok", "breached"):
+                    raise ArtifactError(
+                        f"{where}: slo state must be 'ok' or 'breached', got {value!r}"
+                    )
+                continue
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                raise ArtifactError(
+                    f"{where}: slo.{key} must be a non-negative number, got {value!r}"
+                )
+    return {"alerts": summary["alerts"], "drift_alarms": summary["drift_alarms"]}
+
+
+def _check_alert(obj, where: str) -> None:
+    if not isinstance(obj, dict):
+        raise ArtifactError(f"{where}: alert must be an object")
+    schema = _need(obj, "schema", str, where)
+    if schema != ALERT_SCHEMA:
+        raise ArtifactError(f"{where}: schema {schema!r}, expected {ALERT_SCHEMA!r}")
+    kind = _need(obj, "kind", str, where)
+    if kind not in ALERT_KINDS:
+        raise ArtifactError(
+            f"{where}: unknown alert kind {kind!r} (known: {', '.join(ALERT_KINDS)})"
+        )
+    severity = _need(obj, "severity", str, where)
+    if severity not in SEVERITIES:
+        raise ArtifactError(
+            f"{where}: unknown severity {severity!r} (known: {', '.join(SEVERITIES)})"
+        )
+    _need(obj, "source", str, where)
+    for key in ("value", "threshold"):
+        value = _need(obj, key, (int, float), where)
+        if isinstance(value, bool):
+            raise ArtifactError(f"{where}: {key!r} must be a number, got {value!r}")
+    shard = _need(obj, "shard", int, where)
+    if shard < -1:
+        raise ArtifactError(f"{where}: shard must be >= -1, got {shard}")
+
+
+def _check_health_report(payload, where: str) -> dict:
+    if not isinstance(payload, dict):
+        raise ArtifactError(f"{where}: health report must be an object")
+    schema = _need(payload, "schema", str, where)
+    if schema != REPORT_SCHEMA:
+        raise ArtifactError(f"{where}: schema {schema!r}, expected {REPORT_SCHEMA!r}")
+    nominal = _need(payload, "nominal_coverage", (int, float), where)
+    if isinstance(nominal, bool) or not 0.0 < nominal < 1.0:
+        raise ArtifactError(
+            f"{where}: nominal_coverage must lie in (0, 1), got {nominal!r}"
+        )
+    tenants = _need(payload, "tenants", dict, where)
+    for tenant, summary in tenants.items():
+        validate_health_summary(summary, f"{where}: tenants[{tenant!r}]")
+    fleet = _need(payload, "fleet", dict, where)
+    n_tenants = _need(fleet, "tenants", int, f"{where}: fleet")
+    if n_tenants != len(tenants):
+        raise ArtifactError(
+            f"{where}: fleet.tenants {n_tenants} != tenant rows {len(tenants)}"
+        )
+    alerts = _need(payload, "alerts", list, where)
+    for i, alert in enumerate(alerts):
+        _check_alert(alert, f"{where}: alerts[{i}]")
+    fleet_alerts = _need(fleet, "alerts", int, f"{where}: fleet")
+    if fleet_alerts != len(alerts):
+        raise ArtifactError(
+            f"{where}: fleet.alerts {fleet_alerts} != alert records {len(alerts)}"
+        )
+    return {"tenants": len(tenants), "alerts": len(alerts)}
+
+
+def validate_health_report(path: Union[str, Path]) -> dict:
+    """Validate a fleet health-report JSON file (``repro-health`` artifact)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path.name}: not valid JSON: {exc}") from exc
+    return _check_health_report(payload, path.name)
+
+
+def validate_alert_log(path: Union[str, Path]) -> dict:
+    """Validate a JSONL alert log (one :class:`AlertEvent` per line)."""
+    path = Path(path)
+    alerts = 0
+    kinds: set[str] = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            raise ArtifactError(f"{path.name}:{lineno}: blank line in alert log")
+        where = f"{path.name}:{lineno}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"{where}: not valid JSON: {exc}") from exc
+        _check_alert(obj, where)
+        kinds.add(obj["kind"])
+        alerts += 1
+    return {"alerts": alerts, "kinds": kinds}
 
 
 def validate_hw_counters_file(path: Union[str, Path]) -> dict:

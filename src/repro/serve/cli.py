@@ -8,6 +8,8 @@ Examples::
         --check-throughput 1000 --check-p99-ms 250         # CI gate
     repro-serve --tenants 2 --motes 20 --shards 2 \\
         --trace serve_trace.jsonl --metrics serve_metrics.json
+    repro-serve --tenants 1 --motes 8 --shards 40 --samples-per-proc 20 \\
+        --health --drift-at-shard 20 --alert-log alerts.jsonl  # drift drill
 
 The command builds a simulated fleet (:func:`repro.serve.loadgen.default_fleet`
 over the six benchmark workloads), drives it through an in-process
@@ -20,6 +22,14 @@ timeline (``serve.ingest`` / ``serve.absorb`` / ``serve.query`` spans),
 ``--metrics PATH`` writes the metrics snapshot with the service's stats
 embedded under the ``serve`` key
 (validated by :func:`repro.obs.validate.validate_serve_stats`).
+
+``--health`` attaches an estimator-health monitor to every tenant: drift
+detectors and a CI-calibration audit run alongside absorption, per-tenant
+summaries land in the stats payload (and ``--metrics`` gains a ``health``
+report), and ``--alert-log PATH`` exports every alert as JSONL.
+``--drift-at-shard N`` injects a mid-stream regime change — the drill the
+detectors are supposed to catch (``repro-health --check --expect-drift``
+gates on it in CI).
 """
 
 from __future__ import annotations
@@ -35,17 +45,20 @@ from typing import Optional, Sequence
 from repro.errors import ReproError
 from repro.faults.model import FaultModel
 from repro.obs import (
+    HealthConfig,
     MetricsRegistry,
     Tracer,
+    build_health_report,
     metrics_active,
     tracing,
+    write_alert_log,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
 )
 from repro.profiling.budget import SampleBudget
 from repro.serve.loadgen import FleetReport, default_fleet, run_fleet
-from repro.serve.service import ServiceConfig
+from repro.serve.service import IngestionService, ServiceConfig
 
 __all__ = ["main"]
 
@@ -88,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-glitch", type=float, default=0.0,
         help="per-record timer-glitch rate (default: 0)",
     )
+    fleet.add_argument(
+        "--drift-at-shard", type=int, default=None, metavar="N",
+        help="inject a workload regime change at shard round N for every "
+        "tenant (uniform-scenario pool; default: no drift)",
+    )
     service = parser.add_argument_group("service")
     service.add_argument(
         "--workers", type=int, default=2, help="estimator workers (default: 2)"
@@ -103,6 +121,16 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument(
         "--flush-interval", type=float, default=None, metavar="SECONDS",
         help="age-based flush for partial batches (default: off — count-only)",
+    )
+    health = parser.add_argument_group("health")
+    health.add_argument(
+        "--health", action="store_true",
+        help="attach an estimator-health monitor to every tenant (drift "
+        "detectors, CI-calibration audit, SLO alerts)",
+    )
+    health.add_argument(
+        "--alert-log", type=Path, default=None, metavar="PATH", dest="alert_log",
+        help="write every health alert as JSONL to PATH (implies --health)",
     )
     gates = parser.add_argument_group("gates")
     gates.add_argument(
@@ -148,7 +176,8 @@ def _print_report(report: FleetReport) -> None:
     stats = report.stats["totals"]
     print(
         f"fleet: {len(report.estimates)} tenant(s), "
-        f"{report.shards_sent} shards, {report.samples_sent} samples"
+        f"{report.shards_sent} shards, {report.samples_sent} samples "
+        f"(uptime {report.stats['uptime_s']:.2f}s)"
     )
     print(
         f"ingest: {report.shards_per_s:.0f} shards/s over {report.wall_s:.2f}s "
@@ -168,6 +197,15 @@ def _print_report(report: FleetReport) -> None:
             f"{estimate.max_half_width:.3f}"
             + (" (converged)" if estimate.converged else "")
         )
+    for name, summary in sorted(report.stats.get("health", {}).items()):
+        coverage = summary["coverage"]
+        print(
+            f"  health {name}: drift score {summary['drift_score']:.2f} "
+            f"({summary['drift_alarms']} alarm(s)), coverage "
+            + ("n/a" if coverage is None else f"{coverage:.3f}")
+            + f" over {summary['coverage_checks']} checks, "
+            f"slo {summary['slo']['state']}, {summary['alerts']} alert(s)"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -181,15 +219,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if value < 1:
             print(f"{name} must be >= 1, got {value}", file=sys.stderr)
             return 2
+    if args.drift_at_shard is not None and args.drift_at_shard < 1:
+        print(
+            f"--drift-at-shard must be >= 1, got {args.drift_at_shard}",
+            file=sys.stderr,
+        )
+        return 2
     for flag, path in (
         ("--json", args.json_path),
         ("--trace", args.trace_path),
         ("--metrics", args.metrics_path),
+        ("--alert-log", args.alert_log),
     ):
         if path is not None and not path.parent.is_dir():
             print(f"{flag}: directory does not exist: {path.parent}", file=sys.stderr)
             return 2
 
+    health_on = args.health or args.alert_log is not None
     try:
         fleet = default_fleet(
             n_tenants=args.tenants,
@@ -199,12 +245,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             budget=SampleBudget(max_total=args.budget) if args.budget else None,
             faults=_fault_model(args),
+            drift_at_shard=args.drift_at_shard,
         )
         config = ServiceConfig(
             n_workers=args.workers,
             max_batch=args.batch,
             flush_interval_s=args.flush_interval,
             max_backlog=args.max_backlog,
+            health=HealthConfig() if health_on else None,
         )
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
@@ -212,12 +260,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     registry = MetricsRegistry() if args.metrics_path is not None else None
     tracer = Tracer() if args.trace_path is not None else None
+    service = IngestionService(config)
     with contextlib.ExitStack() as stack:
         if registry is not None:
             stack.enter_context(metrics_active(registry))
         if tracer is not None:
             stack.enter_context(tracing(tracer))
-        report = asyncio.run(run_fleet(fleet, config))
+        report = asyncio.run(run_fleet(fleet, service=service))
 
     _print_report(report)
 
@@ -239,9 +288,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(artifact_error, file=sys.stderr)
     if args.metrics_path is not None:
         try:
-            write_metrics(args.metrics_path, registry, serve=report.stats)
+            health_report = None
+            if health_on:
+                health_report = build_health_report(
+                    report.stats.get("health", {}), alerts=service.alert_events()
+                )
+            write_metrics(
+                args.metrics_path, registry, serve=report.stats, health=health_report
+            )
         except OSError as exc:
             artifact_error = f"--metrics: could not write {args.metrics_path}: {exc}"
+            print(artifact_error, file=sys.stderr)
+    if args.alert_log is not None:
+        try:
+            write_alert_log(args.alert_log, service.alert_events())
+        except OSError as exc:
+            artifact_error = f"--alert-log: could not write {args.alert_log}: {exc}"
             print(artifact_error, file=sys.stderr)
 
     failed = []

@@ -42,12 +42,30 @@ from repro.serve.service import IngestionService, ServiceConfig
 from repro.util.rng import derive_rng, derive_seed_sequence
 from repro.workloads.registry import all_workloads, workload_by_name
 
-__all__ = ["TenantSpec", "FleetSpec", "FleetReport", "default_fleet", "build_uploads", "run_fleet"]
+__all__ = [
+    "TenantSpec",
+    "FleetSpec",
+    "FleetReport",
+    "default_fleet",
+    "tenant_pool",
+    "tenant_truth",
+    "build_uploads",
+    "run_fleet",
+]
 
 
 @dataclass(frozen=True)
 class TenantSpec:
-    """One tenant's slice of the fleet."""
+    """One tenant's slice of the fleet.
+
+    ``drift_at_shard`` injects a workload regime change: shard rounds at or
+    beyond it deal from a second pool generated under ``drift_scenario``
+    (sensor inputs shifted, branch probabilities moved) — the ground truth
+    the health monitor's drift detectors are supposed to notice.  The
+    default post-onset scenario is ``uniform`` — maximum-entropy inputs, a
+    hard regime change; the sinusoidal ``drifting`` scenario averages out
+    over a whole pool run and barely moves the pool's duration mix.
+    """
 
     deployment_id: str
     workload: str
@@ -58,6 +76,14 @@ class TenantSpec:
     epsilon: Optional[float] = 0.02
     budget: Optional[SampleBudget] = None
     faults: Optional[FaultModel] = None
+    drift_at_shard: Optional[int] = None
+    drift_scenario: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.drift_at_shard is not None and self.drift_at_shard < 1:
+            raise ServeError(
+                f"drift_at_shard must be >= 1, got {self.drift_at_shard}"
+            )
 
     @property
     def tenant(self) -> TenantKey:
@@ -123,11 +149,13 @@ def default_fleet(
     seed: int = 2015,
     budget: Optional[SampleBudget] = None,
     faults: Optional[FaultModel] = None,
+    drift_at_shard: Optional[int] = None,
 ) -> FleetSpec:
     """A fleet cycling through the benchmark suite's six workloads.
 
     Tenant ``i`` deploys workload ``i mod 6`` as deployment ``site-<i>``;
     every knob not exposed here keeps its :class:`TenantSpec` default.
+    ``drift_at_shard`` applies the regime change to every tenant.
     """
     if n_tenants < 1:
         raise ServeError(f"n_tenants must be >= 1, got {n_tenants}")
@@ -141,6 +169,7 @@ def default_fleet(
             samples_per_proc=samples_per_proc,
             budget=budget,
             faults=faults,
+            drift_at_shard=drift_at_shard,
         )
         for i in range(n_tenants)
     )
@@ -155,18 +184,35 @@ def _pool_seed(fleet: FleetSpec, spec: TenantSpec) -> int:
     return int(seq.generate_state(1, dtype=np.uint32)[0])
 
 
-def tenant_pool(fleet: FleetSpec, spec: TenantSpec) -> dict[str, np.ndarray]:
-    """One tenant's per-procedure duration pool (one workload run)."""
+def _tenant_run(fleet: FleetSpec, spec: TenantSpec, scenario: str):
+    """One tenant's pool-generation run under ``scenario``."""
     config = ExperimentConfig(
         platform=fleet.platform,
         seed=_pool_seed(fleet, spec),
         quick=fleet.quick,
-        scenario=fleet.scenario,
+        scenario=scenario,
     )
-    run = profiled_run(workload_by_name(spec.workload), config)
+    return profiled_run(workload_by_name(spec.workload), config)
+
+
+def tenant_pool(
+    fleet: FleetSpec, spec: TenantSpec, scenario: Optional[str] = None
+) -> dict[str, np.ndarray]:
+    """One tenant's per-procedure duration pool (one workload run)."""
+    run = _tenant_run(fleet, spec, scenario or fleet.scenario)
     return {
         name: xs.copy() for name, xs in run.dataset.samples.items() if xs.size
     }
+
+
+def tenant_truth(fleet: FleetSpec, spec: TenantSpec) -> dict[str, np.ndarray]:
+    """Ground-truth branch probabilities behind one tenant's *base* pool.
+
+    What the CI-calibration audit holds the served estimates against; under
+    an injected drift (``drift_at_shard``) the post-onset regime differs on
+    purpose, which is exactly when coverage should degrade and alert.
+    """
+    return dict(_tenant_run(fleet, spec, fleet.scenario).truth)
 
 
 def _mote_shard(
@@ -196,9 +242,16 @@ def build_uploads(fleet: FleetSpec) -> list[ShardUpload]:
     rather than one tenant at a time.  Fault injection (when a tenant has a
     :class:`~repro.faults.FaultModel`) runs per mote on its own derived
     injector, so enabling faults for one tenant never perturbs another's
-    stream.
+    stream.  A tenant with ``drift_at_shard`` switches to its
+    ``drift_scenario`` pool from that shard round on — same motes, same RNG
+    labels, shifted regime.
     """
     pools = {spec.tenant: tenant_pool(fleet, spec) for spec in fleet.tenants}
+    drift_pools = {
+        spec.tenant: tenant_pool(fleet, spec, scenario=spec.drift_scenario)
+        for spec in fleet.tenants
+        if spec.drift_at_shard is not None
+    }
     injectors: dict[tuple[TenantKey, int], Optional[FaultInjector]] = {}
     for spec in fleet.tenants:
         for mote in range(spec.n_motes):
@@ -220,7 +273,10 @@ def build_uploads(fleet: FleetSpec) -> list[ShardUpload]:
         for spec in fleet.tenants:
             if shard >= spec.shards_per_mote:
                 continue
-            pool = pools[spec.tenant]
+            if spec.drift_at_shard is not None and shard >= spec.drift_at_shard:
+                pool = drift_pools[spec.tenant]
+            else:
+                pool = pools[spec.tenant]
             for mote in range(spec.n_motes):
                 samples = _mote_shard(fleet, spec, pool, mote, shard)
                 injector = injectors[(spec.tenant, mote)]
@@ -265,6 +321,10 @@ async def run_fleet(
             programs[spec.tenant],
             fleet.platform,
             options=spec.options(),
+            # The simulated fleet knows its own ground truth, which is what
+            # makes the CI-calibration audit possible; real deployments
+            # register without it and still get drift/staleness/SLO checks.
+            truth=tenant_truth(fleet, spec) if svc.config.health is not None else None,
         )
     uploads = build_uploads(fleet)
     accepted = deferred = 0

@@ -19,6 +19,13 @@ Requests
 
     {"op": "query", "deployment": "field-7", "version": "1.4.2"}
 
+Both may carry an optional ``"trace"`` string — a client-chosen causal id
+that the service stamps on every span the request touches
+(``serve.ingest`` → ``serve.absorb`` → ``serve.query`` share it), so one
+shard's journey is greppable across the exported timeline.  Absent, uploads
+fall back to the deterministic ``deployment@version/mote/seq`` identity
+(:attr:`ShardUpload.causal_id`).
+
 ``stats`` — service-wide ingest totals::
 
     {"op": "stats"}
@@ -96,10 +103,21 @@ class ShardUpload:
     mote_id: int
     seq: int
     samples: dict[str, np.ndarray] = field(compare=False)
+    trace_id: Optional[str] = field(default=None, compare=False)
 
     @property
     def n_samples(self) -> int:
         return int(sum(xs.size for xs in self.samples.values()))
+
+    @property
+    def causal_id(self) -> str:
+        """The id stitching this shard's spans together across the timeline.
+
+        The client's ``trace`` field when it sent one; otherwise the shard's
+        own wire identity — deterministic, so replayed fleets produce the
+        same causal chain byte-for-byte.
+        """
+        return self.trace_id or f"{self.tenant}/{self.mote_id}/{self.seq}"
 
 
 @dataclass(frozen=True)
@@ -107,6 +125,7 @@ class QueryRequest:
     """Ask for a tenant's current estimate."""
 
     tenant: TenantKey
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -195,6 +214,17 @@ def _shard_samples(obj: Mapping) -> dict[str, np.ndarray]:
     return samples
 
 
+def _trace_of(obj: Mapping) -> Optional[str]:
+    if "trace" not in obj:
+        return None
+    trace = obj["trace"]
+    if not isinstance(trace, str) or not trace:
+        raise ProtocolError(
+            "bad-request", f"field 'trace' must be a non-empty string, got {trace!r}"
+        )
+    return trace
+
+
 def parse_request(obj: Any):
     """Validate one decoded request object into a typed request.
 
@@ -211,9 +241,15 @@ def parse_request(obj: Any):
         seq = _need(obj, "seq", int, "bad-request")
         if mote < 0 or seq < 0:
             raise ProtocolError("bad-request", "mote and seq must be non-negative")
-        return ShardUpload(tenant=tenant, mote_id=mote, seq=seq, samples=_shard_samples(obj))
+        return ShardUpload(
+            tenant=tenant,
+            mote_id=mote,
+            seq=seq,
+            samples=_shard_samples(obj),
+            trace_id=_trace_of(obj),
+        )
     if op == "query":
-        return QueryRequest(tenant=_tenant_of(obj))
+        return QueryRequest(tenant=_tenant_of(obj), trace_id=_trace_of(obj))
     if op == "stats":
         return StatsRequest()
     raise ProtocolError("unknown-op", f"unknown op {op!r} (known: upload, query, stats)")

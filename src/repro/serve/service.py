@@ -39,7 +39,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from repro.core.online import OnlineOptions
 from repro.errors import ProtocolError, ServeError
 from repro.ir.program import Program
 from repro.mote.platform import Platform
+from repro.obs.health import AlertEvent, EstimatorHealthMonitor, HealthConfig
 from repro.placement.layout import ProgramLayout
 from repro.serve.batcher import MicroBatcher
 from repro.serve.protocol import (
@@ -75,7 +76,10 @@ class ServiceConfig:
     release on count alone (plus the end-of-stream drain), which is the
     fully deterministic mode the tests and benchmarks use.  ``max_backlog``
     caps each tenant's unabsorbed shards (buffered + queued); beyond it,
-    uploads defer.
+    uploads defer.  ``health`` attaches an
+    :class:`~repro.obs.health.EstimatorHealthMonitor` to every tenant's
+    estimator (drift detection, CI-calibration audit, SLO alerts) — purely
+    observational, so estimates stay bit-identical with it on or off.
     """
 
     n_workers: int = 1
@@ -83,6 +87,7 @@ class ServiceConfig:
     flush_interval_s: Optional[float] = None
     max_backlog: int = 256
     retry_after_s: float = 0.5
+    health: Optional[HealthConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -115,6 +120,12 @@ class _Registration:
     layout: Optional[ProgramLayout]
     accepted_counts: dict[str, int] = field(default_factory=dict)
     in_flight: int = 0
+    # Health monitoring (None when ServiceConfig.health is off).  The monitor
+    # is service-owned — it survives rebalance handoffs (re-attached to the
+    # resumed estimator) because monitors are not part of checkpoints.
+    monitor: Optional[EstimatorHealthMonitor] = None
+    latencies_s: list = field(default_factory=list)
+    slo_breached: dict = field(default_factory=dict)
 
 
 class IngestionService:
@@ -141,6 +152,7 @@ class IngestionService:
         self._rejected = 0
         self._queries = 0
         self._started = False
+        self._started_at: Optional[float] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -156,6 +168,8 @@ class IngestionService:
         if self.config.flush_interval_s is not None:
             self._flusher = asyncio.create_task(self._flush_loop())
         self._started = True
+        if self._started_at is None:
+            self._started_at = self._clock()
 
     async def stop(self) -> None:
         """Drain everything, then tear the tasks down."""
@@ -193,18 +207,39 @@ class IngestionService:
         platform: Platform,
         options: Optional[OnlineOptions] = None,
         layout: Optional[ProgramLayout] = None,
+        truth: Optional[Mapping[str, Sequence[float]]] = None,
     ) -> TenantKey:
-        """Open an estimator stream for one ``(deployment, version)`` pair."""
+        """Open an estimator stream for one ``(deployment, version)`` pair.
+
+        When the service runs with :attr:`ServiceConfig.health`, each tenant
+        gets its own :class:`~repro.obs.health.EstimatorHealthMonitor`;
+        ``truth`` (per-procedure ground-truth branch probabilities, known for
+        simulated fleets) additionally enables the CI-calibration audit.
+        """
         tenant = TenantKey(deployment_id, program_version)
         if tenant in self._registry:
             raise ServeError(f"tenant {tenant} already registered")
         opts = options or OnlineOptions()
+        monitor = None
+        if self.config.health is not None:
+            monitor = EstimatorHealthMonitor(
+                config=self.config.health,
+                source=str(tenant),
+                truth=truth,
+                clock=self._clock,
+            )
         self._registry[tenant] = _Registration(
-            program=program, platform=platform, options=opts, layout=layout
+            program=program,
+            platform=platform,
+            options=opts,
+            layout=layout,
+            monitor=monitor,
         )
         self._tenant_stats[tenant] = TenantStats()
         worker = self._workers[self._router.worker_for(tenant)]
         worker.adopt(tenant, program, platform, options=opts, layout=layout)
+        if monitor is not None:
+            worker.estimator(tenant).attach_health(monitor)
         obs.inc("serve.tenants_registered")
         return tenant
 
@@ -231,7 +266,11 @@ class IngestionService:
         registration = self._registration(tenant)
         stats = self._tenant_stats[tenant]
         with obs.span(
-            "serve.ingest", tenant=str(tenant), mote=upload.mote_id, seq=upload.seq
+            "serve.ingest",
+            tenant=str(tenant),
+            mote=upload.mote_id,
+            seq=upload.seq,
+            causal=upload.causal_id,
         ):
             budget = registration.options.budget
             if budget is not None and budget.exhausted(registration.accepted_counts):
@@ -290,6 +329,65 @@ class IngestionService:
         stats = self._tenant_stats[result.tenant]
         stats.batches += 1
         self._latencies.extend(result.latencies_s)
+        registration.latencies_s.extend(result.latencies_s)
+        if registration.monitor is not None:
+            self._check_slo(result.tenant, registration)
+
+    def _check_slo(self, tenant: TenantKey, registration: _Registration) -> None:
+        """Evaluate the tenant's serve SLOs; emit edge-triggered alerts.
+
+        Runs after every absorbed batch (drift/coverage checks already ran
+        inside the estimator's absorb).  Each SLO alerts once per breach
+        episode: crossing back under the threshold re-arms it.
+        """
+        health = self.config.health
+        monitor = registration.monitor
+        assert health is not None and monitor is not None
+        stats = self._tenant_stats[tenant]
+        if stats.accepted < health.min_slo_shards:
+            return
+        checks: list[tuple[str, float, float]] = []
+        if health.slo_p99_ms is not None and registration.latencies_s:
+            lat = np.asarray(registration.latencies_s, dtype=float) * 1e3
+            checks.append(
+                ("slo-latency", float(np.percentile(lat, 99)), health.slo_p99_ms)
+            )
+        if health.slo_backlog_frac is not None:
+            frac = registration.in_flight / self.config.max_backlog
+            checks.append(("slo-backlog", frac, health.slo_backlog_frac))
+        if health.slo_deferral_rate is not None:
+            total = stats.accepted + stats.deferred
+            if total:
+                checks.append(
+                    ("slo-deferral", stats.deferred / total, health.slo_deferral_rate)
+                )
+        for kind, value, threshold in checks:
+            breached = value > threshold
+            if breached and not registration.slo_breached.get(kind, False):
+                monitor.emit(
+                    kind,
+                    "critical",
+                    value=value,
+                    threshold=threshold,
+                    detail=f"{kind} breached for {tenant}",
+                )
+            registration.slo_breached[kind] = breached
+
+    def _slo_state(self, tenant: TenantKey, registration: _Registration) -> dict:
+        """The tenant's live SLO readout for the stats/health embeds."""
+        stats = self._tenant_stats[tenant]
+        total = stats.accepted + stats.deferred
+        state: dict = {
+            "state": "breached"
+            if any(registration.slo_breached.values())
+            else "ok",
+            "backlog_frac": registration.in_flight / self.config.max_backlog,
+            "deferral_rate": stats.deferred / total if total else 0.0,
+        }
+        if registration.latencies_s:
+            lat = np.asarray(registration.latencies_s, dtype=float) * 1e3
+            state["p99_ms"] = float(np.percentile(lat, 99))
+        return state
 
     async def _flush_loop(self) -> None:
         interval = self.config.flush_interval_s
@@ -312,17 +410,37 @@ class IngestionService:
 
     # -- queries / stats ----------------------------------------------------
 
-    def query(self, tenant: TenantKey) -> TenantEstimate:
+    def query(
+        self, tenant: TenantKey, trace_id: Optional[str] = None
+    ) -> TenantEstimate:
         """The tenant's estimate as of the last absorbed batch."""
         self._registration(tenant)
         self._queries += 1
-        with obs.span("serve.query", tenant=str(tenant)):
+        attrs = {"tenant": str(tenant)}
+        if trace_id is not None:
+            attrs["causal"] = trace_id
+        with obs.span("serve.query", **attrs):
             estimator = self._workers[self._router.worker_for(tenant)].estimator(tenant)
             snapshot = snapshot_estimate(
                 tenant, estimator, pending=self._registry[tenant].in_flight
             )
         obs.inc("serve.queries")
         return snapshot
+
+    def health_monitors(self) -> dict[str, EstimatorHealthMonitor]:
+        """Per-tenant health monitors, tenant-sorted (empty when health is off)."""
+        return {
+            str(tenant): registration.monitor
+            for tenant, registration in sorted(self._registry.items())
+            if registration.monitor is not None
+        }
+
+    def alert_events(self) -> list[AlertEvent]:
+        """Every health alert emitted so far, tenant-sorted then in emit order."""
+        events: list[AlertEvent] = []
+        for monitor in self.health_monitors().values():
+            events.extend(monitor.alerts)
+        return events
 
     def count_rejected(self) -> None:
         """Tally one structurally rejected request (protocol violation)."""
@@ -360,14 +478,30 @@ class IngestionService:
             "batches": sum(s.batches for s in self._tenant_stats.values()),
             "queries": self._queries,
         }
-        return {
+        payload = {
             "op": "stats",
             "schema": PROTOCOL_VERSION,
             "workers": self._router.n_workers,
+            "uptime_s": (
+                0.0
+                if self._started_at is None
+                else max(self._clock() - self._started_at, 0.0)
+            ),
             "totals": totals,
             "tenants": tenants,
             "latency": self.latency_percentiles(),
         }
+        health = {}
+        for tenant in sorted(self._registry):
+            registration = self._registry[tenant]
+            if registration.monitor is None:
+                continue
+            summary = registration.monitor.summary()
+            summary["slo"] = self._slo_state(tenant, registration)
+            health[str(tenant)] = summary
+        if health:
+            payload["health"] = health
+        return payload
 
     # -- rebalance / handoff ------------------------------------------------
 
@@ -415,7 +549,8 @@ class IngestionService:
             self._tasks = self._tasks[:n_workers]
         self._router.apply(plan)
         for tenant, runtime, checkpoint in handoffs:
-            self._workers[self._router.worker_for(tenant)].adopt(
+            worker = self._workers[self._router.worker_for(tenant)]
+            worker.adopt(
                 tenant,
                 runtime.program,
                 runtime.platform,
@@ -423,6 +558,12 @@ class IngestionService:
                 layout=runtime.layout,
                 checkpoint=checkpoint,
             )
+            monitor = self._registry[tenant].monitor
+            if monitor is not None:
+                # Monitors are service-owned and not checkpointed: the same
+                # instance re-attaches to the resumed estimator, keeping
+                # alert history and detector state across the handoff.
+                worker.estimator(tenant).attach_health(monitor)
         obs.inc("serve.rebalances")
         obs.inc("serve.tenants_moved", len(handoffs))
         return len(handoffs)
@@ -440,7 +581,7 @@ class IngestionService:
             if isinstance(request, ShardUpload):
                 return (await self.submit(request)).to_json()
             if isinstance(request, QueryRequest):
-                return self.query(request.tenant).to_json()
+                return self.query(request.tenant, trace_id=request.trace_id).to_json()
             assert isinstance(request, StatsRequest)
             return self.stats_payload()
         except ProtocolError as exc:

@@ -145,6 +145,7 @@ class EstimatorWorker:
             worker=self.index,
             shards=len(batch),
             samples=n_samples,
+            causal=[pending.upload.causal_id for pending in batch],
         ) as handle:
             point = runtime.estimator.absorb_batch(shards)
             handle.set(em_iterations=point.em_iterations, converged=point.converged)

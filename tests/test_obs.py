@@ -334,6 +334,34 @@ class TestExporters:
             assert event["ts"] >= last.get(track, -1)
             last[track] = event["ts"]
 
+    def test_exporters_reject_tracer_with_open_spans(self, tmp_path):
+        # Flushing a tracer mid-span would silently drop the in-flight work
+        # and read as a complete timeline; both exporters must refuse the
+        # unbalanced stack and leave no artifact behind.
+        tracer = Tracer()
+        with tracer.span("finished"):
+            pass
+        cm = tracer.span("in_flight")
+        cm.__enter__()
+        try:
+            assert tracer.open_spans == 1
+            for writer, name in (
+                (write_jsonl, "trace.jsonl"),
+                (write_chrome_trace, "trace.json"),
+            ):
+                target = tmp_path / name
+                with pytest.raises(ObsError, match="still open"):
+                    writer(target, tracer)
+                assert not target.exists()
+        finally:
+            cm.__exit__(None, None, None)
+        # Balanced again: the same call succeeds and carries both spans.
+        path = write_jsonl(tmp_path / "trace.jsonl", tracer)
+        names = [
+            json.loads(line)["name"] for line in path.read_text().splitlines()
+        ]
+        assert names == ["finished", "in_flight"]
+
     def test_metrics_file_round_trip(self, tmp_path):
         registry = MetricsRegistry()
         registry.counter("sim.runs").inc(4)
@@ -438,6 +466,7 @@ class TestValidators:
             "op": "stats",
             "schema": "repro.serve/1",
             "workers": 2,
+            "uptime_s": 1.5,
             "totals": {"accepted": 10, "deferred": 1, "rejected": 0},
             "tenants": {"site-0@1.0": {"accepted": 10, "deferred": 1}},
             "latency": {"p50_ms": 1.0, "p99_ms": 4.0},
@@ -473,6 +502,7 @@ class TestValidators:
             "op": "stats",
             "schema": "repro.serve/1",
             "workers": 1,
+            "uptime_s": 0.2,
             "totals": {"accepted": 3, "deferred": 0, "rejected": 0},
             "tenants": {},
             "latency": {"p99_ms": 0.5},
