@@ -22,7 +22,18 @@ The check fails (exit 1) on a wall-clock regression beyond
 drift — hardware counters are seed-determined, so two runs at the same git
 sha must be bit-identical.  ``--counter-determinism-only`` skips the
 wall-clock gate; use it on shared CI runners where time is noise but
-determinism is still binary.
+determinism is still binary.  A failing check doesn't just name the
+threshold breach: it prints the full :mod:`repro.obs.compare` attribution
+table (which benchmarks moved, which counter groups, which procedures) so
+the gate explains itself.
+
+**Summary** — distill the whole history into a repo-root dashboard file::
+
+    python scripts/bench_track.py --render-summary BENCH_2026-08-08.json
+
+The summary carries each benchmark's current vs trailing median plus the
+headline numbers parsed from ``benchmarks/results/`` (ingestion shards/s,
+fleet speedup, obs overhead), when those result files exist.
 
 Exit codes: 0 ok, 1 regression/drift or bad artifact, 2 usage error.
 """
@@ -43,9 +54,12 @@ from repro.obs.bench_history import (
     build_record,
     check_history,
     load_history,
+    summarize_history,
 )
+from repro.obs.compare import explain_history, format_report
 
 DEFAULT_HISTORY_DIR = Path("benchmarks") / "history"
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
 
 
 def git_sha() -> str:
@@ -70,6 +84,79 @@ def _load_counter_snapshots(directory: Path) -> dict:
         except (OSError, json.JSONDecodeError) as exc:
             raise ObsError(f"cannot read counter snapshot {path}: {exc}") from exc
     return snapshots
+
+
+def _table_value(text: str, key: str):
+    """``key   value`` lines in the text result tables (obs.txt et al.)."""
+    for line in text.splitlines():
+        fields = line.split()
+        if len(fields) == 2 and fields[0] == key:
+            try:
+                return float(fields[1])
+            except ValueError:
+                return None
+    return None
+
+
+def headline_numbers(results_dir: Path) -> dict:
+    """Headline figures from ``benchmarks/results/``; ``None`` when absent.
+
+    Each number is parsed tolerantly from its result artifact — a missing
+    or reshaped file yields ``null`` in the summary, never a crash (these
+    files are benchmark output, regenerated on a different cadence than
+    the history).
+    """
+    headline = {
+        "serve_shards_per_s": None,
+        "fleet_speedup_max": None,
+        "obs_overhead_ratio": None,
+        "health_overhead_ratio": None,
+    }
+    serve = results_dir / "serve.txt"
+    if serve.exists():
+        try:
+            headline["serve_shards_per_s"] = json.loads(serve.read_text()).get(
+                "shards_per_s"
+            )
+        except (OSError, json.JSONDecodeError):
+            pass
+    fleet = results_dir / "fleet.txt"
+    if fleet.exists():
+        speedups = []
+        try:
+            for line in fleet.read_text().splitlines():
+                fields = line.split()
+                if len(fields) >= 6 and fields[0] not in ("workload",):
+                    try:
+                        speedups.append(float(fields[-1]))
+                    except ValueError:
+                        continue
+        except OSError:
+            pass
+        if speedups:
+            headline["fleet_speedup_max"] = max(speedups)
+    for key, name in (
+        ("obs_overhead_ratio", "obs.txt"),
+        ("health_overhead_ratio", "obs_health.txt"),
+    ):
+        path = results_dir / name
+        if path.exists():
+            try:
+                headline[key] = _table_value(path.read_text(), "ratio")
+            except OSError:
+                pass
+    return headline
+
+
+def render_summary(history_dir: Path, results_dir: Path, out: Path) -> dict:
+    """Write the distilled repo-root ``BENCH_<date>.json`` dashboard file."""
+    records = load_history(history_dir)
+    if not records:
+        raise ObsError(f"no bench history under {history_dir}")
+    summary = summarize_history(records)
+    summary["headline"] = headline_numbers(results_dir)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return summary
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -132,6 +219,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="check only counter bit-identity, not wall-clock (for shared "
         "CI runners where time is noise)",
     )
+    parser.add_argument(
+        "--render-summary",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the distilled history summary (current vs trailing "
+        "medians + headline numbers) to PATH, e.g. BENCH_2026-08-08.json "
+        "at the repo root",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        metavar="DIR",
+        help="benchmark result artifacts for the summary's headline "
+        f"numbers (default: {DEFAULT_RESULTS_DIR})",
+    )
     return parser
 
 
@@ -139,10 +243,10 @@ def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     ingest = args.benchmark_json is not None or args.counters_dir is not None
-    if not ingest and not args.check:
+    if not ingest and not args.check and args.render_summary is None:
         parser.error(
-            "nothing to do; pass --benchmark-json/--counters-dir to ingest "
-            "and/or --check to gate"
+            "nothing to do; pass --benchmark-json/--counters-dir to ingest, "
+            "--check to gate, and/or --render-summary to distill"
         )
     if args.max_regression < 0:
         parser.error(f"--max-regression must be >= 0, got {args.max_regression}")
@@ -185,6 +289,17 @@ def main(argv=None) -> int:
             if failures:
                 for failure in failures:
                     print(f"bench check FAILED: {failure}", file=sys.stderr)
+                # A failing gate explains itself: attribute the newest
+                # record against its baseline so the log names the moved
+                # benchmarks, counter groups and procedures, not just the
+                # breached threshold.
+                try:
+                    report = explain_history(records)
+                except ObsError:
+                    pass
+                else:
+                    print(file=sys.stderr)
+                    print(format_report(report), file=sys.stderr)
                 return 1
             gates = (
                 "counter determinism"
@@ -192,6 +307,17 @@ def main(argv=None) -> int:
                 else f"wall-clock (+{args.max_regression:.0%}) and counter determinism"
             )
             print(f"bench check OK: {len(records)} record(s), gates: {gates}")
+
+        if args.render_summary is not None:
+            summary = render_summary(
+                args.history_dir, args.results_dir, args.render_summary
+            )
+            print(
+                f"{args.render_summary}: summarized "
+                f"{summary['records']} record(s), "
+                f"{len(summary['benchmarks'])} benchmark(s) "
+                f"at {summary['git_sha'][:12]}"
+            )
     except ObsError as exc:
         print(f"bench track FAILED: {exc}", file=sys.stderr)
         return 1

@@ -10,7 +10,7 @@ path-qualified message on the first structural violation (see
         --trace trace.jsonl [--trace-format jsonl|chrome] \
         --metrics metrics.json [--require-coverage] \
         --hw-counters snapshot.json --bench BENCH_2026-08-06.json \
-        --health health.json --alerts alerts.jsonl
+        --health health.json --alerts alerts.jsonl --report report.json
 
 ``--require-coverage`` additionally asserts the span names prove the trace
 covered the engine, sim and estimator layers.  ``--hw-counters`` validates a
@@ -20,7 +20,8 @@ file holding a ``repro.hwcounters/1`` object); ``--bench`` validates a
 ``--health`` validates a standalone fleet health report
 (``repro.health-report/1``) and ``--alerts`` a JSONL alert log
 (``repro.health-alert/1`` lines), both as written by ``repro-serve`` /
-``repro-health``.
+``repro-health``; ``--report`` validates a ``repro.obs-report/1``
+attribution report as written by ``repro-obs explain --json``.
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ from repro.obs.validate import (
     validate_health_report,
     validate_hw_counters_file,
     validate_metrics_file,
+    validate_obs_report,
     validate_trace_jsonl,
 )
 
@@ -77,6 +79,12 @@ def main(argv=None) -> int:
         help="JSONL health-alert log to validate",
     )
     parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="repro.obs-report/1 attribution report to validate",
+    )
+    parser.add_argument(
         "--require-coverage",
         action="store_true",
         help="assert the trace covers the engine, sim and estimator layers",
@@ -91,11 +99,12 @@ def main(argv=None) -> int:
             args.bench,
             args.health,
             args.alerts,
+            args.report,
         )
     ):
         parser.error(
             "nothing to check; pass --trace, --metrics, --hw-counters, "
-            "--bench, --health and/or --alerts"
+            "--bench, --health, --alerts and/or --report"
         )
 
     try:
@@ -146,6 +155,16 @@ def main(argv=None) -> int:
                 f"{summary['benchmarks']} benchmark stat(s), "
                 f"{summary['snapshots']} counter snapshot(s)"
             )
+        if args.report is not None:
+            summary = validate_obs_report(args.report)
+            if "rows" in summary:
+                detail = f"{summary['rows']} row(s)"
+            else:
+                detail = (
+                    f"{summary['sections']} attribution section(s), "
+                    f"{summary['notes']} note(s)"
+                )
+            print(f"{args.report}: OK — kind {summary['kind']}, {detail}")
     except (ArtifactError, OSError) as exc:
         print(f"artifact check FAILED: {exc}", file=sys.stderr)
         return 1

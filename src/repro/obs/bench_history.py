@@ -42,17 +42,22 @@ from repro.obs.manifest import host_facts
 
 __all__ = [
     "BENCH_SCHEMA",
+    "SUMMARY_SCHEMA",
     "DEFAULT_MAX_REGRESSION",
     "bench_path",
     "build_record",
     "append_record",
     "load_history",
     "check_history",
+    "summarize_history",
     "distill_pytest_benchmark",
 ]
 
 #: Schema tag on every history file (bumped on layout changes).
 BENCH_SCHEMA = "repro.bench-history/1"
+
+#: Schema tag on the distilled repo-root ``BENCH_<date>.json`` summary.
+SUMMARY_SCHEMA = "repro.bench-summary/1"
 
 #: Wall-clock gate: newest median may exceed the trailing median by this
 #: fraction before the check fails.
@@ -258,6 +263,53 @@ def check_history(
                         "counters must be deterministic at a fixed seed"
                     )
     return failures
+
+
+def summarize_history(records: Sequence[Mapping]) -> dict:
+    """Distill a full history into one human-scannable summary block.
+
+    For every benchmark in the newest record: its current median, the
+    trailing median over prior *same-machine* records (the same baseline
+    :func:`check_history` gates against), the relative movement, and how
+    many points the trajectory has.  This is the payload behind the
+    repo-root ``BENCH_<date>.json`` dashboard file — small enough to read
+    in a diff, derived entirely from ``benchmarks/history/``.
+    """
+    if not records:
+        raise ObsError("cannot summarize an empty bench history")
+    newest = records[-1]
+    trail = records[:-1]
+    machine = (newest.get("host") or {}).get("machine")
+    benches = {}
+    for name, stats in sorted((newest.get("benchmarks") or {}).items()):
+        current = (stats or {}).get("median") if isinstance(stats, Mapping) else None
+        if current is None:
+            continue
+        prior = [
+            benches_r[name]["median"]
+            for r in trail
+            for benches_r in [(r.get("benchmarks") or {})]
+            if isinstance(benches_r.get(name), Mapping)
+            and "median" in benches_r[name]
+            and (r.get("host") or {}).get("machine") == machine
+        ]
+        baseline = _trailing_median(prior) if prior else None
+        benches[name] = {
+            "median_s": current,
+            "trailing_median_s": baseline,
+            "relative": (
+                (current - baseline) / baseline if baseline else None
+            ),
+            "points": len(prior) + 1,
+        }
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "git_sha": newest.get("git_sha", "unknown"),
+        "created_utc": newest.get("created_utc"),
+        "machine": machine,
+        "records": len(records),
+        "benchmarks": benches,
+    }
 
 
 def _describe_drift(ref: Mapping, new: Mapping) -> str:

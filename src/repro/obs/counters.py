@@ -44,6 +44,7 @@ from repro.errors import ObsError
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
+    "FLOAT_COUNTER_RTOL",
     "HardwareCounters",
     "active",
     "current_counters",
@@ -51,6 +52,8 @@ __all__ = [
     "empty_snapshot",
     "merge_snapshots",
     "diff_snapshots",
+    "snapshot_deltas",
+    "counter_group",
     "total_cycles",
     "branches_executed",
     "mispredict_total",
@@ -64,7 +67,23 @@ __all__ = [
 #: Schema tag carried by every snapshot (bumped on layout changes).
 SNAPSHOT_SCHEMA = "repro.hwcounters/1"
 
+#: Relative tolerance applied to float-valued counters (``radio.energy_uj``,
+#: ``timer.quantization_error_cycles``) in the snapshot algebra.  Float
+#: addition is not associative, so merging the same events in a different
+#: grouping (scalar vs. vectorized engine, different ``--jobs``) can leave
+#: the accumulated energy a few ULPs apart; the PR-7 caveat.  Integer
+#: counters stay exact.
+FLOAT_COUNTER_RTOL = 1e-9
+
 Number = Union[int, float]
+
+
+def _float_noise(delta: Number, before: Number, after: Number) -> bool:
+    """True when a float counter's delta is merge-order rounding, not signal."""
+    if isinstance(delta, int):
+        return False
+    scale = max(abs(before), abs(after), 1.0)
+    return abs(delta) <= FLOAT_COUNTER_RTOL * scale
 
 
 class HardwareCounters:
@@ -264,7 +283,11 @@ def diff_snapshots(before: Mapping, after: Mapping) -> dict:
     Zero-valued entries are dropped, so a diff against a fresh registry is
     canonical: ``diff_snapshots(a, merge_snapshots(a, b)) == b`` for any
     zero-free ``b``.  Counters only go up, so a negative delta means the
-    snapshots came from different registries — a loud :class:`ObsError`.
+    snapshots came from different registries — a loud :class:`ObsError` —
+    **except** for float-valued counters, where a delta within
+    :data:`FLOAT_COUNTER_RTOL` of zero (either sign) is merge-order
+    rounding noise and is treated as exactly zero rather than either
+    raising or surviving as a spurious entry.
     """
     _check_schema(before)
     _check_schema(after)
@@ -273,6 +296,8 @@ def diff_snapshots(before: Mapping, after: Mapping) -> dict:
         out = {}
         for key in a.keys() | b.keys():
             delta = a.get(key, 0) - b.get(key, 0)
+            if _float_noise(delta, b.get(key, 0), a.get(key, 0)):
+                continue
             if delta < 0:
                 raise ObsError(
                     f"counter {where}{key!r} went backwards ({a.get(key, 0)} < "
@@ -294,6 +319,63 @@ def diff_snapshots(before: Mapping, after: Mapping) -> dict:
         "totals": sub(before.get("totals", {}), after.get("totals", {}), ""),
         "per_proc": per_proc,
     }
+
+
+def counter_group(name: str) -> str:
+    """The counter's group: its dotted prefix (``cycles``, ``radio``, ...).
+
+    Attribution reports roll movers up by group so "F4 got slower" can be
+    localized to *which subsystem* moved (instruction cycles, mispredicts,
+    flash fetches, radio energy) before drilling into individual counters.
+    """
+    return name.split(".", 1)[0]
+
+
+def snapshot_deltas(
+    before: Mapping, after: Mapping, top: Optional[int] = None
+) -> list[dict]:
+    """Signed per-counter movement between two runs, biggest movers first.
+
+    Unlike :func:`diff_snapshots` — the monoid inverse over snapshots of
+    *one* registry, where a negative delta is a contract violation — this
+    compares snapshots of two *different* runs, so deltas carry sign in
+    both directions.  Float counters (``radio.energy_uj``) get the
+    :data:`FLOAT_COUNTER_RTOL` treatment: merge-order rounding noise reads
+    as exactly zero instead of ranking as a mover.
+
+    Returns one row per moved counter::
+
+        {"counter", "group", "before", "after", "delta", "relative"}
+
+    ``relative`` is ``delta / before`` (``None`` for a counter that did not
+    exist before).  The ordering is **stable and total**: descending by
+    ``|delta|``, then ascending by counter name — two identical snapshot
+    pairs always produce the identical row list, which is what makes
+    attribution reports byte-reproducible.  ``top`` truncates to the N
+    biggest movers.
+    """
+    _check_schema(before)
+    _check_schema(after)
+    rows = []
+    b_totals = before.get("totals", {})
+    a_totals = after.get("totals", {})
+    for key in b_totals.keys() | a_totals.keys():
+        b_val, a_val = b_totals.get(key, 0), a_totals.get(key, 0)
+        delta = a_val - b_val
+        if not delta or _float_noise(delta, b_val, a_val):
+            continue
+        rows.append(
+            {
+                "counter": key,
+                "group": counter_group(key),
+                "before": b_val,
+                "after": a_val,
+                "delta": delta,
+                "relative": (delta / b_val) if b_val else None,
+            }
+        )
+    rows.sort(key=lambda r: (-abs(r["delta"]), r["counter"]))
+    return rows[:top] if top is not None else rows
 
 
 # --------------------------------------------------------------------------

@@ -7,6 +7,8 @@ Examples::
     repro-health --stats run.json --alerts alerts.jsonl --json health.json
     repro-health --report health.json --check         # CI gate: healthy or exit 1
     repro-health --report health.json --check --expect-drift   # drift drill gate
+    repro-health --report health.json \
+        --counters-before base.json --counters-after drifted.json
 
 The command renders one fleet health report — per-tenant drift scores,
 CI-calibration coverage, staleness and SLO state, plus the fleet rollup —
@@ -33,8 +35,9 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs.counters import snapshot_deltas
 from repro.obs.health import build_health_report, read_alert_log
-from repro.obs.validate import ArtifactError, _check_health_report
+from repro.obs.validate import ArtifactError, _check_health_report, validate_counter_snapshot
 
 __all__ = ["main"]
 
@@ -72,11 +75,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --check: require at least one drift alarm (injected-drift "
         "drill) and tolerate drift/coverage alerts",
     )
+    source.add_argument(
+        "--counters-before", type=Path, default=None, metavar="PATH",
+        help="hardware-counter snapshot (or --metrics file) from before the "
+        "drift window; with --counters-after, the report carries the top "
+        "moved counters",
+    )
+    source.add_argument(
+        "--counters-after", type=Path, default=None, metavar="PATH",
+        help="hardware-counter snapshot (or --metrics file) from after the "
+        "drift window",
+    )
     parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH", dest="json_path",
         help="write the (normalized) health report to PATH",
     )
     return parser
+
+
+def _load_counter_snapshot(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    if isinstance(payload, dict) and "hardware_counters" in payload:
+        payload = payload["hardware_counters"]
+    validate_counter_snapshot(payload, path.name)
+    return payload
 
 
 def _summaries_of(payload: dict, where: str) -> dict:
@@ -148,6 +170,17 @@ def _render(report: dict) -> None:
             f"{alert['threshold']:.4g}"
             + (f" — {alert['detail']}" if alert.get("detail") else "")
         )
+    movers = report.get("counter_movers")
+    if movers:
+        print("top moved counters:")
+        for row in movers:
+            delta = row["delta"]
+            rendered = f"{delta:+.3f}" if isinstance(delta, float) else f"{delta:+d}"
+            rel = "-" if row["relative"] is None else f"{row['relative']:+.1%}"
+            print(
+                f"  {row['counter']}: {row['before']} -> {row['after']} "
+                f"({rendered}, {rel})"
+            )
 
 
 def _problems(report: dict, expect_drift: bool) -> list[str]:
@@ -184,8 +217,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.expect_drift and not args.check:
         print("--expect-drift only makes sense with --check", file=sys.stderr)
         return 2
+    if (args.counters_before is None) != (args.counters_after is None):
+        print(
+            "--counters-before and --counters-after come as a pair",
+            file=sys.stderr,
+        )
+        return 2
     for flag, path in (
-        ("--report", args.report), ("--stats", args.stats), ("--alerts", args.alerts)
+        ("--report", args.report),
+        ("--stats", args.stats),
+        ("--alerts", args.alerts),
+        ("--counters-before", args.counters_before),
+        ("--counters-after", args.counters_after),
     ):
         if path is not None and not path.is_file():
             print(f"{flag}: no such file: {path}", file=sys.stderr)
@@ -193,6 +236,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         report = _load_report(args)
+        if args.counters_before is not None:
+            # Drift alerts name *what* drifted; the counter movers name
+            # what the hardware was doing differently while it drifted.
+            report["counter_movers"] = snapshot_deltas(
+                _load_counter_snapshot(args.counters_before),
+                _load_counter_snapshot(args.counters_after),
+                top=10,
+            )
     except (ArtifactError, OSError, json.JSONDecodeError) as exc:
         print(f"health report FAILED to load: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,398 @@
+"""CLI for offline telemetry analysis (installed as ``repro-obs``).
+
+Examples::
+
+    repro-obs aggregate trace.jsonl --top 15
+    repro-obs flamegraph trace.jsonl --out trace.collapsed
+    repro-obs critical-path trace.jsonl --json path.json
+    repro-obs explain before.jsonl after.jsonl \\
+        --metrics-before before_metrics.json --metrics-after after_metrics.json
+    repro-obs explain benchmarks/history          # newest record vs baseline
+    repro-obs diff-counters before_snap.json after_snap.json --top 10
+
+Five subcommands over the artifacts the obs stack already emits:
+
+* ``aggregate`` — per-span-name inclusive/exclusive self-time table.
+* ``flamegraph`` — Brendan Gregg collapsed-stack export (``stack µs``),
+  feedable to any flamegraph renderer and round-trippable.
+* ``critical-path`` — the heaviest root→leaf chain through the span tree.
+* ``explain`` — regression attribution between two runs: pass two traces
+  (plus optional ``--metrics-before``/``--metrics-after`` for the counter
+  and histogram drill-down), two ``--metrics`` files, two
+  ``BENCH_<date>.json`` history files, or a single history file/directory
+  (newest record vs its same-machine baseline).
+* ``diff-counters`` — signed hardware-counter deltas with relative
+  movement and stable top-movers ordering; inputs are counter-snapshot
+  JSONs or ``--metrics`` files carrying the embed.
+
+``--json PATH`` on every subcommand writes the structured result (the
+attribution subcommands write a ``repro.obs-report/1`` artifact).  All
+analysis is offline and deterministic: identical inputs produce
+byte-identical output at any ``--jobs``.  Exit codes: 0 ok, 1 unreadable
+or malformed artifact, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ObsError
+from repro.obs.bench_history import BENCH_SCHEMA, load_history
+from repro.obs.compare import (
+    OBS_REPORT_SCHEMA,
+    compare_bench_records,
+    compare_runs,
+    counter_attribution,
+    explain_history,
+    format_report,
+    report_json,
+)
+from repro.obs.counters import SNAPSHOT_SCHEMA
+from repro.obs.query import (
+    RunBundle,
+    aggregate,
+    critical_path,
+    format_aggregate,
+    format_critical_path,
+    load_run,
+    load_trace,
+    to_collapsed,
+)
+
+__all__ = ["main"]
+
+
+def _sniff(path: Path) -> str:
+    """Classify an artifact file: trace | metrics | bench | counters.
+
+    JSONL traces are not one JSON document, so a whole-file parse failure
+    *is* the trace signal; single-document files classify by their schema
+    tag or top-level vocabulary.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ObsError(f"cannot read {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return "trace"  # JSON-lines: many documents, one per line
+    if not isinstance(payload, dict):
+        raise ObsError(f"{path}: not a recognized telemetry artifact")
+    if payload.get("schema") == BENCH_SCHEMA:
+        return "bench"
+    if payload.get("schema") == SNAPSHOT_SCHEMA:
+        return "counters"
+    if "metrics" in payload:
+        return "metrics"
+    raise ObsError(
+        f"{path}: not a recognized telemetry artifact (expected a JSONL "
+        f"trace, a --metrics file, a {SNAPSHOT_SCHEMA!r} snapshot, or a "
+        f"{BENCH_SCHEMA!r} history file)"
+    )
+
+
+def _load_pair(jobs: int, load_a: Callable, load_b: Callable):
+    """Load two sides, optionally concurrently; result order is fixed.
+
+    ``--jobs`` parallelizes only the *loading* of the two inputs; the
+    analysis itself is order-free, which is why reports are byte-identical
+    at any jobs value.
+    """
+    if jobs > 1:
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            fut_a, fut_b = pool.submit(load_a), pool.submit(load_b)
+            return fut_a.result(), fut_b.result()
+    return load_a(), load_b()
+
+
+def _load_counter_side(path: Path) -> dict:
+    kind = _sniff(path)
+    payload = json.loads(path.read_text())
+    if kind == "counters":
+        return payload
+    if kind == "metrics":
+        snap = payload.get("hardware_counters")
+        if snap is None:
+            raise ObsError(
+                f"{path}: metrics file carries no hardware_counters embed "
+                "(was the run made with --counters?)"
+            )
+        return snap
+    raise ObsError(f"{path}: expected a counter snapshot or a --metrics file")
+
+
+def _bench_records(path: Path) -> list[dict]:
+    payload = json.loads(path.read_text())
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ObsError(f"{path}: bench history has no records")
+    return records
+
+
+def _write_json(path: Optional[Path], text: str) -> None:
+    if path is not None:
+        path.write_text(text)
+
+
+# -- subcommand implementations ---------------------------------------------
+
+
+def _cmd_aggregate(args) -> int:
+    forest = load_trace(args.trace)
+    rows = aggregate(forest)
+    print(format_aggregate(rows, top=args.top))
+    _write_json(
+        args.json_path,
+        json.dumps(
+            {"schema": OBS_REPORT_SCHEMA, "kind": "aggregate", "rows": rows},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+    return 0
+
+
+def _cmd_critical_path(args) -> int:
+    forest = load_trace(args.trace)
+    rows = critical_path(forest)
+    print(format_critical_path(rows))
+    _write_json(
+        args.json_path,
+        json.dumps(
+            {"schema": OBS_REPORT_SCHEMA, "kind": "critical-path", "rows": rows},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+    return 0
+
+
+def _cmd_flamegraph(args) -> int:
+    forest = load_trace(args.trace)
+    collapsed = to_collapsed(forest)
+    if args.out is not None:
+        args.out.write_text(collapsed)
+        print(
+            f"{args.out}: {len(collapsed.splitlines())} stack(s) from "
+            f"{forest.spans} span(s)"
+        )
+    else:
+        sys.stdout.write(collapsed)
+    return 0
+
+
+def _explain_report(args) -> dict:
+    paths = [Path(p) for p in args.runs]
+    if len(paths) == 1:
+        target = paths[0]
+        records = (
+            load_history(target) if target.is_dir() else _bench_records(target)
+        )
+        return explain_history(records, top=args.top)
+    before_path, after_path = paths
+    kind_a, kind_b = _sniff(before_path), _sniff(after_path)
+    if kind_a != kind_b:
+        raise ObsError(
+            f"cannot compare a {kind_a} artifact against a {kind_b} artifact; "
+            "pass two runs of the same kind"
+        )
+    if kind_a == "bench":
+        rec_a, rec_b = _load_pair(
+            args.jobs,
+            lambda: _bench_records(before_path)[-1],
+            lambda: _bench_records(after_path)[-1],
+        )
+        return compare_bench_records(rec_a, rec_b, top=args.top)
+    if kind_a == "trace":
+        bundle_a, bundle_b = _load_pair(
+            args.jobs,
+            lambda: load_run(trace=before_path, metrics=args.metrics_before),
+            lambda: load_run(trace=after_path, metrics=args.metrics_after),
+        )
+        return compare_runs(bundle_a, bundle_b, top=args.top)
+    if kind_a == "metrics":
+        bundle_a, bundle_b = _load_pair(
+            args.jobs,
+            lambda: load_run(metrics=before_path),
+            lambda: load_run(metrics=after_path),
+        )
+        return compare_runs(bundle_a, bundle_b, top=args.top)
+    snap_a, snap_b = _load_pair(
+        args.jobs,
+        lambda: _load_counter_side(before_path),
+        lambda: _load_counter_side(after_path),
+    )
+    return {
+        "schema": OBS_REPORT_SCHEMA,
+        "kind": "counters",
+        "total": None,
+        "spans": None,
+        "counters": counter_attribution(snap_a, snap_b, top=args.top),
+        "metrics": None,
+        "benchmarks": None,
+        "notes": [],
+    }
+
+
+def _cmd_explain(args) -> int:
+    report = _explain_report(args)
+    print(format_report(report, top=args.top or 10))
+    _write_json(args.json_path, report_json(report))
+    return 0
+
+
+def _cmd_diff_counters(args) -> int:
+    snap_a, snap_b = _load_pair(
+        args.jobs,
+        lambda: _load_counter_side(Path(args.before)),
+        lambda: _load_counter_side(Path(args.after)),
+    )
+    counters = counter_attribution(snap_a, snap_b, top=args.top)
+    report = {
+        "schema": OBS_REPORT_SCHEMA,
+        "kind": "counters",
+        "total": None,
+        "spans": None,
+        "counters": counters,
+        "metrics": None,
+        "benchmarks": None,
+        "notes": [],
+    }
+    if not counters["movers"]:
+        print("no counters moved")
+    else:
+        print(format_report(report, top=args.top or 10))
+        print()
+        print("movers (|delta| ordered):")
+        for row in counters["movers"][: args.top or 20]:
+            delta = row["delta"]
+            rendered = f"{delta:+.3f}" if isinstance(delta, float) else f"{delta:+d}"
+            rel = "-" if row["relative"] is None else f"{row['relative']:+.1%}"
+            print(
+                f"  {row['counter']}: {row['before']} -> {row['after']} "
+                f"({rendered}, {rel})"
+            )
+    _write_json(args.json_path, report_json(report))
+    return 0
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH", dest="json_path",
+        help="write the structured result to PATH",
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="keep only the N biggest movers per section",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel artifact loading; output is byte-identical at any N "
+        "(default: 1)",
+    )
+    _add_json_flag(parser)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Query, visualize and diff the repo's own telemetry "
+        "artifacts (traces, metrics, counters, bench history).",
+        epilog="exit codes: 0 ok; 1 unreadable or malformed artifact; "
+        "2 usage error",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    agg = sub.add_parser(
+        "aggregate", help="per-span-name self/inclusive time table"
+    )
+    agg.add_argument("trace", type=Path, help="JSONL trace artifact")
+    agg.add_argument(
+        "--top", type=int, default=None, metavar="N", help="show only N rows"
+    )
+    _add_json_flag(agg)
+    agg.set_defaults(func=_cmd_aggregate)
+
+    crit = sub.add_parser(
+        "critical-path", help="heaviest root-to-leaf chain through the spans"
+    )
+    crit.add_argument("trace", type=Path, help="JSONL trace artifact")
+    _add_json_flag(crit)
+    crit.set_defaults(func=_cmd_critical_path)
+
+    flame = sub.add_parser(
+        "flamegraph", help="collapsed-stack flamegraph export (stack µs lines)"
+    )
+    flame.add_argument("trace", type=Path, help="JSONL trace artifact")
+    flame.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write collapsed stacks to PATH (default: stdout)",
+    )
+    flame.set_defaults(func=_cmd_flamegraph)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute a regression between two runs (traces, metrics, "
+        "counter snapshots, or bench history)",
+    )
+    explain.add_argument(
+        "runs", nargs="+", metavar="RUN",
+        help="two artifacts of the same kind, or one bench-history "
+        "file/directory (newest record vs its baseline)",
+    )
+    explain.add_argument(
+        "--metrics-before", type=Path, default=None, metavar="PATH",
+        help="metrics artifact joined to the first trace",
+    )
+    explain.add_argument(
+        "--metrics-after", type=Path, default=None, metavar="PATH",
+        help="metrics artifact joined to the second trace",
+    )
+    _add_common(explain)
+    explain.set_defaults(func=_cmd_explain)
+
+    diff = sub.add_parser(
+        "diff-counters",
+        help="signed hardware-counter deltas with relative movement",
+    )
+    diff.add_argument("before", help="counter snapshot or --metrics file")
+    diff.add_argument("after", help="counter snapshot or --metrics file")
+    _add_common(diff)
+    diff.set_defaults(func=_cmd_diff_counters)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.command == "explain" and len(args.runs) not in (1, 2):
+        parser.error("explain takes one history file/directory or two artifacts")
+    if args.command == "explain" and len(args.runs) == 1:
+        if args.metrics_before or args.metrics_after:
+            parser.error("--metrics-before/--metrics-after need two trace runs")
+    try:
+        return args.func(args)
+    except (ObsError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro-obs FAILED: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

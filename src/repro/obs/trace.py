@@ -46,6 +46,7 @@ from typing import Iterator, Optional, Sequence, Union
 from repro.errors import ObsError
 
 __all__ = [
+    "TRACE_SCHEMA",
     "SpanRecord",
     "Tracer",
     "current_tracer",
@@ -56,6 +57,11 @@ __all__ = [
     "write_jsonl",
     "write_chrome_trace",
 ]
+
+#: Schema tag emitted as the first line of every JSONL trace stream
+#: (matching the ``repro.serve/1`` / ``repro.health-alert/1`` convention).
+#: Readers accept both versioned and legacy (headerless) streams.
+TRACE_SCHEMA = "repro.trace/1"
 
 
 @dataclass
@@ -337,14 +343,17 @@ def write_jsonl(
 ) -> Path:
     """Write spans as JSON lines, one record per line, in ``seq`` order.
 
-    When ``manifest`` is given it becomes the first line (tagged
-    ``"type": "manifest"``) so a stream reader has run identity before the
-    first span.  ``spans`` may be a :class:`Tracer`, in which case it must
-    have no open spans (see :func:`_span_buffer`).
+    The first line is a version header (``{"type": "header", "schema":
+    "repro.trace/1"}``) so a stream reader knows the layout before the
+    first record; readers keep accepting legacy headerless streams.  When
+    ``manifest`` is given it becomes the next line (tagged ``"type":
+    "manifest"``) so run identity precedes the first span.  ``spans`` may
+    be a :class:`Tracer`, in which case it must have no open spans (see
+    :func:`_span_buffer`).
     """
     path = Path(path)
     spans = _span_buffer(spans)
-    lines = []
+    lines = [json.dumps({"schema": TRACE_SCHEMA, "type": "header"}, sort_keys=True)]
     if manifest is not None:
         lines.append(json.dumps({"type": "manifest", **manifest}, sort_keys=True))
     for record in sorted(spans, key=lambda s: s.seq):

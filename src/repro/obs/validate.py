@@ -22,10 +22,12 @@ from typing import Union
 from repro.obs.bench_history import BENCH_SCHEMA
 from repro.obs.counters import SNAPSHOT_SCHEMA
 from repro.obs.health import ALERT_KINDS, ALERT_SCHEMA, REPORT_SCHEMA, SEVERITIES
+from repro.obs.trace import TRACE_SCHEMA
 
 __all__ = [
     "ArtifactError",
     "validate_trace_jsonl",
+    "validate_obs_report",
     "validate_chrome_trace",
     "validate_metrics_file",
     "validate_counter_snapshot",
@@ -87,11 +89,18 @@ def _check_span_record(record: dict, where: str) -> None:
 
 
 def validate_trace_jsonl(path: Union[str, Path]) -> dict:
-    """Validate a JSONL trace; returns ``{"spans": n, "names": set, ...}``."""
+    """Validate a JSONL trace; returns ``{"spans": n, "names": set, ...}``.
+
+    Accepts both the versioned stream (a ``repro.trace/1`` header on the
+    first line, optional manifest on the second) and the legacy headerless
+    layout (optional manifest on the first line) — old artifacts stay
+    checkable forever.
+    """
     path = Path(path)
     names: set[str] = set()
     spans = 0
     manifest_lines = 0
+    header_lines = 0
     last_seq = -1
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         where = f"{path.name}:{lineno}"
@@ -100,9 +109,22 @@ def validate_trace_jsonl(path: Union[str, Path]) -> dict:
         except json.JSONDecodeError as exc:
             raise ArtifactError(f"{where}: not valid JSON: {exc}") from exc
         kind = _need(record, "type", str, where)
-        if kind == "manifest":
+        if kind == "header":
             if lineno != 1:
-                raise ArtifactError(f"{where}: manifest must be the first line")
+                raise ArtifactError(f"{where}: header must be the first line")
+            schema = _need(record, "schema", str, where)
+            if schema != TRACE_SCHEMA:
+                raise ArtifactError(
+                    f"{where}: schema {schema!r}, expected {TRACE_SCHEMA!r}"
+                )
+            header_lines += 1
+            continue
+        if kind == "manifest":
+            if lineno != 1 + header_lines:
+                raise ArtifactError(
+                    f"{where}: manifest must directly follow the header "
+                    "(or open the stream in legacy traces)"
+                )
             manifest_lines += 1
             continue
         if kind != "span":
@@ -117,7 +139,12 @@ def validate_trace_jsonl(path: Union[str, Path]) -> dict:
         spans += 1
     if spans == 0:
         raise ArtifactError(f"{path.name}: contains no span records")
-    return {"spans": spans, "names": names, "has_manifest": bool(manifest_lines)}
+    return {
+        "spans": spans,
+        "names": names,
+        "has_manifest": bool(manifest_lines),
+        "versioned": bool(header_lines),
+    }
 
 
 def validate_chrome_trace(path: Union[str, Path]) -> dict:
@@ -500,6 +527,113 @@ def validate_bench_file(path: Union[str, Path]) -> dict:
         benchmarks += len(benches)
         snapshots += len(counters)
     return {"records": len(records), "benchmarks": benchmarks, "snapshots": snapshots}
+
+
+#: Schema tag on attribution reports (``repro.obs.compare``).  Spelled out
+#: here (like ``SERVE_SCHEMA``) so the validators import nothing cyclic.
+OBS_REPORT_SCHEMA = "repro.obs-report/1"
+
+#: The report kinds ``repro-obs`` emits.
+OBS_REPORT_KINDS = ("runs", "bench", "counters", "aggregate", "critical-path")
+
+
+def _check_numeric_rows(rows, where: str, key_field: str) -> None:
+    if not isinstance(rows, list):
+        raise ArtifactError(f"{where}: must be a list")
+    for i, row in enumerate(rows):
+        row_where = f"{where}[{i}]"
+        if not isinstance(row, dict):
+            raise ArtifactError(f"{row_where}: row must be an object")
+        _need(row, key_field, str, row_where)
+        for key, value in row.items():
+            if key == key_field:
+                continue
+            if value is not None and not isinstance(value, (int, float, str)):
+                raise ArtifactError(
+                    f"{row_where}: field {key!r} must be a number, string or "
+                    f"null, got {type(value).__name__}"
+                )
+
+
+def validate_obs_report(path: Union[str, Path]) -> dict:
+    """Validate a ``repro.obs-report/1`` attribution/aggregation artifact."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path.name}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ArtifactError(f"{path.name}: report must be an object")
+    schema = _need(payload, "schema", str, path.name)
+    if schema != OBS_REPORT_SCHEMA:
+        raise ArtifactError(
+            f"{path.name}: schema {schema!r}, expected {OBS_REPORT_SCHEMA!r}"
+        )
+    kind = _need(payload, "kind", str, path.name)
+    if kind not in OBS_REPORT_KINDS:
+        raise ArtifactError(
+            f"{path.name}: unknown report kind {kind!r} "
+            f"(known: {', '.join(OBS_REPORT_KINDS)})"
+        )
+    if kind in ("aggregate", "critical-path"):
+        rows = _need(payload, "rows", list, path.name)
+        _check_numeric_rows(rows, f"{path.name}: rows", "name")
+        return {"kind": kind, "rows": len(rows)}
+    for key in ("total", "spans", "counters", "metrics", "benchmarks", "notes"):
+        _need(payload, key, object, path.name)
+    notes = payload["notes"]
+    if not isinstance(notes, list) or any(not isinstance(n, str) for n in notes):
+        raise ArtifactError(f"{path.name}: notes must be a list of strings")
+    sections = 0
+    if payload["total"] is not None:
+        total = _need(payload, "total", dict, path.name)
+        for key in ("before_s", "after_s", "delta_s"):
+            _need(total, key, (int, float), f"{path.name}: total")
+    if payload["spans"] is not None:
+        _check_numeric_rows(payload["spans"], f"{path.name}: spans", "span")
+        sections += 1
+    if payload["benchmarks"] is not None:
+        _check_numeric_rows(
+            payload["benchmarks"], f"{path.name}: benchmarks", "benchmark"
+        )
+        sections += 1
+    if payload["counters"] is not None:
+        counters = _need(payload, "counters", dict, path.name)
+        _check_numeric_rows(
+            _need(counters, "movers", list, f"{path.name}: counters"),
+            f"{path.name}: counters.movers",
+            "counter",
+        )
+        _check_numeric_rows(
+            _need(counters, "groups", list, f"{path.name}: counters"),
+            f"{path.name}: counters.groups",
+            "group",
+        )
+        _check_numeric_rows(
+            _need(counters, "per_proc", list, f"{path.name}: counters"),
+            f"{path.name}: counters.per_proc",
+            "procedure",
+        )
+        sections += 1
+    if payload["metrics"] is not None:
+        metrics = _need(payload, "metrics", dict, path.name)
+        _check_numeric_rows(
+            _need(metrics, "counters", list, f"{path.name}: metrics"),
+            f"{path.name}: metrics.counters",
+            "counter",
+        )
+        _check_numeric_rows(
+            _need(metrics, "histograms", list, f"{path.name}: metrics"),
+            f"{path.name}: metrics.histograms",
+            "histogram",
+        )
+        sections += 1
+    if sections == 0:
+        raise ArtifactError(
+            f"{path.name}: report has no attribution sections "
+            "(spans, counters, metrics and benchmarks are all null)"
+        )
+    return {"kind": kind, "sections": sections, "notes": len(notes)}
 
 
 def require_span_coverage(names: set[str]) -> dict:

@@ -17,12 +17,14 @@ import pytest
 from repro.errors import ObsError
 from repro.obs.bench_history import (
     BENCH_SCHEMA,
+    SUMMARY_SCHEMA,
     append_record,
     bench_path,
     build_record,
     check_history,
     distill_pytest_benchmark,
     load_history,
+    summarize_history,
 )
 from repro.obs.counters import SNAPSHOT_SCHEMA
 from repro.obs.validate import ArtifactError, validate_bench_file
@@ -244,6 +246,80 @@ class TestBenchTrackScript:
             )
             == 0
         )
+
+    def test_failing_check_prints_attribution_table(self, module, artifacts, capsys):
+        # The acceptance contract: a breached gate explains itself — the
+        # stderr carries the full attribution report, not just the
+        # threshold message.
+        assert self._ingest(module, artifacts, "2026-08-05") == 0
+        assert self._ingest(module, artifacts, "2026-08-06", sha="s2", median=1.25) == 0
+        assert module.main(["--check", "--history-dir", str(artifacts[2])]) == 1
+        err = capsys.readouterr().err
+        assert "wall-clock regression" in err
+        assert "== attribution report ==" in err
+        assert "benchmark movers" in err
+        assert "bench_f4.py::test_f4" in err
+
+    def test_render_summary_writes_distilled_dashboard(
+        self, module, artifacts, tmp_path, capsys
+    ):
+        assert self._ingest(module, artifacts, "2026-08-05") == 0
+        assert self._ingest(module, artifacts, "2026-08-06", sha="s2", median=1.1) == 0
+        out = tmp_path / "BENCH_2026-08-06.json"
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "serve.txt").write_text(json.dumps({"shards_per_s": 8714.0}))
+        (results / "obs.txt").write_text("ratio  1.0649\nrepeats  3\n")
+        (results / "fleet.txt").write_text(
+            "workload motes activations scalar_s vector_s speedup\n"
+            "tinydb-agg 2048 16384 2.241 0.188 11.935\n"
+            "surge 2048 16384 4.406 0.501 8.803\n"
+        )
+        code = module.main(
+            [
+                "--render-summary", str(out),
+                "--history-dir", str(artifacts[2]),
+                "--results-dir", str(results),
+            ]
+        )
+        assert code == 0
+        assert "summarized 2 record(s)" in capsys.readouterr().out
+        summary = json.loads(out.read_text())
+        assert summary["schema"] == SUMMARY_SCHEMA
+        assert summary["git_sha"] == "s2"
+        bench = summary["benchmarks"]["bench_f4.py::test_f4"]
+        assert bench["median_s"] == pytest.approx(1.1)
+        assert bench["trailing_median_s"] == pytest.approx(1.0)
+        assert bench["relative"] == pytest.approx(0.1)
+        assert bench["points"] == 2
+        assert summary["headline"] == {
+            "serve_shards_per_s": 8714.0,
+            "fleet_speedup_max": 11.935,
+            "obs_overhead_ratio": 1.0649,
+            "health_overhead_ratio": None,
+        }
+
+    def test_render_summary_without_history_exits_1(self, module, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        code = module.main(
+            [
+                "--render-summary", str(out),
+                "--history-dir", str(tmp_path / "empty"),
+                "--results-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert "no bench history" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_summarize_history_skips_foreign_machine_trail(self):
+        elsewhere = record(median=0.1)
+        elsewhere["host"] = {"machine": "some-other-box"}
+        summary = summarize_history([elsewhere, record(median=1.0, sha="bbb")])
+        bench = summary["benchmarks"]["bench_f4.py::test_f4"]
+        assert bench["trailing_median_s"] is None
+        assert bench["relative"] is None
+        assert bench["points"] == 1
 
     def test_check_flags_counter_drift_with_exit_1(self, module, artifacts, capsys):
         bench_json, counters_dir, history = artifacts

@@ -9,9 +9,9 @@ Three contracts over ``docs/*.md`` + the top-level documents:
 2. **Links resolve and named modules exist.** Every relative markdown link
    points at a real file, and every ``repro.*`` dotted path names an
    importable module (or a module attribute).
-3. **No CLI flag drift.** Every ``--flag`` a code block passes to
-   ``repro-experiments`` or ``repro-serve`` must appear in that command's
-   live ``--help`` output.
+3. **No CLI flag drift.** Every ``--flag`` a code block passes to one of
+   the console scripts in ``CLI_MODULES`` must appear in that command's
+   live ``--help`` output (subcommand helps included).
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ CLI_MODULES = {
     "repro-experiments": "repro.experiments",
     "repro-serve": "repro.serve",
     "repro-health": "repro.obs.health_cli",
+    "repro-obs": "repro.obs.obs_cli",
 }
 
 
@@ -178,33 +179,51 @@ def _resolves(dotted: str) -> bool:
 
 
 def _documented_flags(command: str) -> set[str]:
-    """Every --flag passed to ``command`` in any documentation code block."""
+    """Every --flag passed to ``command`` in any documentation code block.
+
+    Docs invoke the console script by name or as ``python -m <module>``;
+    both spellings count as the same command.
+    """
+    names = (command, CLI_MODULES[command])
     flags: set[str] = set()
     for path in ALL_DOCS:
         for fence in _fences(path):
             # Join backslash continuations so a wrapped invocation reads
             # as the one command line it is.
             for line in fence.body.replace("\\\n", " ").splitlines():
-                if command not in line:
+                if not any(name in line for name in names):
                     continue
                 flags.update(FLAG_RE.findall(line))
     return flags
 
 
-@pytest.mark.parametrize("command", sorted(CLI_MODULES), ids=str)
-def test_documented_cli_flags_exist(command):
-    documented = _documented_flags(command)
-    assert documented, f"no documentation examples invoke {command}"
+def _help_output(module: str, *subcommand: str) -> str:
     proc = subprocess.run(
-        [sys.executable, "-m", CLI_MODULES[command], "--help"],
+        [sys.executable, "-m", module, *subcommand, "--help"],
         env=_snippet_env(),
         capture_output=True,
         text=True,
         timeout=60,
     )
     assert proc.returncode == 0, proc.stderr
-    known = set(FLAG_RE.findall(proc.stdout))
-    unknown = documented - known
+    return proc.stdout
+
+
+def _known_flags(module: str) -> set[str]:
+    """Union of --flags across the CLI's help and every subcommand's help."""
+    helps = [_help_output(module)]
+    subcommands = re.search(r"\{([a-z][a-z0-9,-]*)\}", helps[0])
+    if subcommands:
+        for name in subcommands.group(1).split(","):
+            helps.append(_help_output(module, name))
+    return {flag for text in helps for flag in FLAG_RE.findall(text)}
+
+
+@pytest.mark.parametrize("command", sorted(CLI_MODULES), ids=str)
+def test_documented_cli_flags_exist(command):
+    documented = _documented_flags(command)
+    assert documented, f"no documentation examples invoke {command}"
+    unknown = documented - _known_flags(CLI_MODULES[command])
     assert not unknown, (
         f"documentation passes flags {sorted(unknown)} that "
         f"`{command} --help` does not list"

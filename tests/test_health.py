@@ -851,3 +851,47 @@ class TestHealthCli:
         no_health.write_text(json.dumps({"metrics": {}}))
         assert health_cli(["--stats", str(no_health)]) == 1
         assert "FAILED to load" in capsys.readouterr().err
+
+    def test_counter_movers_ride_along_with_drift(self, tmp_path, capsys):
+        # A drift report can carry the hardware-counter movers between two
+        # snapshots, so the alert names what the hardware was doing
+        # differently, not just that a residual shifted.
+        report = self.write_report(tmp_path, drift_alarms=1)
+        snap = {
+            "schema": "repro.hwcounters/1",
+            "totals": {"cycles.block": 1000, "branch.mispredict": 40},
+            "per_proc": {},
+        }
+        drifted = dict(snap, totals={"cycles.block": 2100, "branch.mispredict": 41})
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        before.write_text(json.dumps(snap))
+        after.write_text(json.dumps(drifted))
+        out_path = tmp_path / "out.json"
+        code = health_cli(
+            [
+                "--report", str(report),
+                "--counters-before", str(before),
+                "--counters-after", str(after),
+                "--json", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top moved counters" in out
+        assert "cycles.block: 1000 -> 2100" in out
+        saved = json.loads(out_path.read_text())
+        assert saved["counter_movers"][0]["counter"] == "cycles.block"
+        # the enriched artifact still validates (extra key tolerated)
+        validate_health_report(out_path)
+
+    def test_counter_flags_come_as_a_pair(self, tmp_path, capsys):
+        report = self.write_report(tmp_path)
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps({"schema": "repro.hwcounters/1",
+                                    "totals": {}, "per_proc": {}}))
+        code = health_cli(
+            ["--report", str(report), "--counters-before", str(snap)]
+        )
+        assert code == 2
+        assert "pair" in capsys.readouterr().err

@@ -21,6 +21,7 @@ from hypothesis import strategies as st
 from repro.errors import ObsError, UnitExecutionError
 from repro.obs import (
     DEFAULT_BUCKETS,
+    TRACE_SCHEMA,
     ArtifactError,
     Histogram,
     MetricsRegistry,
@@ -288,7 +289,8 @@ class TestExporters:
         path = tmp_path / "trace.jsonl"
         write_jsonl(path, tracer.spans, manifest={"schema_version": 1})
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert lines[0]["type"] == "manifest"
+        assert lines[0] == {"type": "header", "schema": TRACE_SCHEMA}
+        assert lines[1]["type"] == "manifest"
         spans = [rec for rec in lines if rec["type"] == "span"]
         assert [s["name"] for s in spans] == [
             "experiment",
@@ -358,7 +360,9 @@ class TestExporters:
         # Balanced again: the same call succeeds and carries both spans.
         path = write_jsonl(tmp_path / "trace.jsonl", tracer)
         names = [
-            json.loads(line)["name"] for line in path.read_text().splitlines()
+            rec["name"]
+            for rec in map(json.loads, path.read_text().splitlines())
+            if rec["type"] == "span"
         ]
         assert names == ["finished", "in_flight"]
 
