@@ -1,0 +1,41 @@
+"""F10 — regenerate the closed-loop continuous-PGO comparison."""
+
+from __future__ import annotations
+
+from repro.experiments import fig_f10_closed_loop
+
+
+def test_f10_closed_loop(benchmark, experiment_config, save_result):
+    result = benchmark.pedantic(
+        fig_f10_closed_loop.run, args=(experiment_config,), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+    rows = list(zip(s["workload"], s["policy"]))
+    assert rows == [
+        (wl, p)
+        for wl in fig_f10_closed_loop.WORKLOADS
+        for p in fig_f10_closed_loop.POLICIES
+    ]
+    by = {row: i for i, row in enumerate(rows)}
+    for wl in fig_f10_closed_loop.WORKLOADS:
+        st, cl, orc = (by[(wl, p)] for p in fig_f10_closed_loop.POLICIES)
+        # The loop must beat the frozen deploy-time layout on mispredicts
+        # AND energy, and the oracle must bound it from below.
+        assert s["mispredicts"][cl] < s["mispredicts"][st], wl
+        assert s["mispredicts"][orc] <= s["mispredicts"][cl], wl
+        assert s["energy_mj"][cl] < s["energy_mj"][st], wl
+        assert s["compute_mj"][cl] < s["compute_mj"][st], wl
+        assert 0.0 < s["captured"][cl] <= 1.0, wl
+        assert s["captured"][orc] == 1.0, wl
+    # The probe schedule's staleness trap must actually spring (an audited
+    # rollback), and its sustained shift must commit; sense is the clean
+    # commit path and must never roll back.
+    actions = {
+        wl: [a for w, a in zip(s["timeline_workload"], s["timeline_action"]) if w == wl]
+        for wl in fig_f10_closed_loop.WORKLOADS
+    }
+    assert "rollback" in actions["probe"]
+    assert "commit" in actions["probe"]
+    assert "commit" in actions["sense"]
+    assert "rollback" not in actions["sense"]

@@ -29,12 +29,20 @@ __all__ = ["DriftTrack", "estimate_epochs", "detect_drift"]
 
 @dataclass(frozen=True)
 class DriftTrack:
-    """Per-epoch estimates of one procedure's branch probabilities."""
+    """Per-epoch estimates of one procedure's branch probabilities.
+
+    ``n_dropped`` counts samples that belong to no estimated epoch: a
+    trailing window shorter than ``min_epoch_fraction * epoch_size`` is not
+    estimated (too little data for a stable fit), and its samples are
+    surfaced here instead of vanishing silently — so
+    ``sum(n_samples) + n_dropped`` always equals the input length.
+    """
 
     procedure: str
     epoch_size: int
     thetas: np.ndarray  # (n_epochs, n_parameters)
     n_samples: tuple[int, ...]  # samples per epoch
+    n_dropped: int = 0  # samples in no epoch (short trailing window)
 
     @property
     def n_epochs(self) -> int:
@@ -67,7 +75,9 @@ def estimate_epochs(
 
     ``durations`` must be in collection order (the profiler preserves it).
     A trailing partial window is kept only if it holds at least
-    ``min_epoch_fraction * epoch_size`` samples.
+    ``min_epoch_fraction * epoch_size`` samples; dropped samples are
+    reported on the returned track's ``n_dropped`` (they are in no epoch),
+    so epoch coverage is always accountable.
     """
     xs = np.asarray(durations, dtype=float)
     if xs.size == 0:
@@ -95,6 +105,7 @@ def estimate_epochs(
         epoch_size=epoch_size,
         thetas=thetas,
         n_samples=tuple(counts),
+        n_dropped=int(xs.size - sum(counts)),
     )
 
 

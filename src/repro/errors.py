@@ -25,6 +25,7 @@ __all__ = [
     "EstimationError",
     "IdentifiabilityError",
     "PlacementError",
+    "PgoError",
     "WorkloadError",
     "ExperimentError",
     "UnitExecutionError",
@@ -106,6 +107,10 @@ class IdentifiabilityError(EstimationError):
 
 class PlacementError(ReproError):
     """Errors from the code-placement optimizer (:mod:`repro.placement`)."""
+
+
+class PgoError(ReproError):
+    """Errors from the closed-loop continuous-PGO controller (:mod:`repro.pgo`)."""
 
 
 class WorkloadError(ReproError):

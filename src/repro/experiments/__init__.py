@@ -19,6 +19,7 @@ from repro.experiments import (
     fig_f7_drift,
     fig_f8_faults,
     fig_f9_convergence,
+    fig_f10_closed_loop,
     table_t1_benchmarks,
     table_t2_overhead,
     table_t3_estimators,
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "f7": fig_f7_drift.run,
     "f8": fig_f8_faults.run,
     "f9": fig_f9_convergence.run,
+    "f10": fig_f10_closed_loop.run,
 }
 
 # Imported after ALL_EXPERIMENTS exists: the engine resolves experiment

@@ -1,0 +1,687 @@
+"""The closed-loop continuous-PGO controller.
+
+This module closes the loop the rest of the library leaves open: streaming
+estimation (:class:`~repro.core.online.OnlineEstimator`) watches a live
+mote's timing shards, drift detection (:mod:`repro.obs.health`) notices when
+the branch probabilities behind the current code placement have gone stale,
+and the placement optimizer (:mod:`repro.placement`) produces a fresh layout
+— which the controller hot-swaps into the running interpreter at a safe
+activation boundary, then *audits*: if the first post-swap segment measures
+worse than the last pre-swap segment beyond statistical noise, the swap is
+rolled back and the old layout restored from the content-addressed
+:class:`~repro.pgo.registry.LayoutRegistry`.
+
+Execution is sliced into **segments** (a fixed number of activations, the
+unit at which sensors may change regime).  Per segment the controller:
+
+1. runs the activations on one persistent :class:`~repro.sim.Interpreter`
+   (globals and RAM survive across segments and swaps);
+2. collects the segment's timing shard through the platform timer and feeds
+   it to the online estimator (whose health monitor sees the pre-refit
+   innovations);
+3. advances a small state machine::
+
+       steady --drift alarm--> relearn --candidate differs--> trial
+         ^                        |                             |
+         |                        +--candidate identical--------+--commit
+         +------rollback (trial regressed vs pre-swap segment)--+
+
+   In ``relearn`` the estimator has been **reset** — probabilities learned
+   under the old regime (and the old layout's timing model) are evidence
+   about the past, so the candidate layout is fit only on post-alarm
+   shards.  In ``trial`` the swap is live but unproven; the next segment's
+   measured mispredict rate and energy decide commit vs rollback.
+
+Everything is deterministic given the sensor streams and profiler seeds:
+the health monitor runs on an injected zero clock, EM uses no RNG, and
+segment metrics come from exact counter deltas — so controller runs are
+bit-reproducible and checkpoint/resume (:meth:`PGOController.checkpoint` /
+:meth:`PGOController.resume`) continues byte-identically.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+from repro.core.online import OnlineCheckpoint, OnlineEstimator, OnlineOptions
+from repro.errors import PgoError
+from repro.ir.program import Program
+from repro.mote.platform import Platform
+from repro.mote.radio import Packet
+from repro.mote.sensors import SensorSuite
+from repro.obs.health import AlertEvent, EstimatorHealthMonitor, HealthConfig
+from repro.pgo.registry import LayoutRegistry, SwapEvent
+from repro.placement.layout import ProgramLayout
+from repro.placement.refine import optimize_refined_program_layout
+from repro.profiling.timing_profiler import TimingProfiler
+from repro.sim.interpreter import Interpreter
+from repro.sim.trace import ExecutionCounters
+from repro.util.rng import RngSource
+
+__all__ = [
+    "PGOConfig",
+    "SegmentMetrics",
+    "SegmentReport",
+    "PGOCheckpoint",
+    "PGOController",
+    "ACTIONS",
+]
+
+#: Per-segment controller actions (the vocabulary is closed).
+ACTIONS = ("hold", "alarm", "relearn", "swap", "commit", "rollback")
+
+#: State-machine phases.
+_STEADY, _RELEARN, _TRIAL = "steady", "relearn", "trial"
+
+
+def _zero_clock() -> float:
+    """Deterministic stand-in for the monitor's wall clock.
+
+    The controller never uses wall-age staleness checks, and a real clock
+    would leak nondeterminism into checkpoints.  Module-level so monitor
+    state stays picklable.
+    """
+    return 0.0
+
+
+@dataclass(frozen=True)
+class PGOConfig:
+    """Policy knobs for one closed-loop run.
+
+    ``health`` tunes the drift detectors (the default shortens warmup to 4
+    shards — a controller segment carries hundreds of samples, so the
+    innovation baseline settles fast).  ``relearn_shards`` is how many
+    post-alarm segments feed the fresh estimator before a candidate layout
+    is proposed.  The rollback gate fires when the trial segment's
+    mispredict rate exceeds the pre-swap reference by more than
+    ``rollback_z`` pooled standard errors, **or** its compute (CPU + ADC)
+    energy per activation exceeds the reference by more than
+    ``energy_rtol`` relatively.
+    ``cooldown_segments`` suppresses new drift alarms right after a
+    rollback or an unchanged re-placement, so the loop cannot flap.
+    """
+
+    online: OnlineOptions = field(default_factory=lambda: OnlineOptions(epsilon=None))
+    health: HealthConfig = field(default_factory=lambda: HealthConfig(warmup_shards=4))
+    relearn_shards: int = 3
+    rollback_z: float = 1.96
+    energy_rtol: float = 0.05
+    cooldown_segments: int = 2
+
+    def __post_init__(self) -> None:
+        if self.relearn_shards < 1:
+            raise PgoError(f"relearn_shards must be >= 1, got {self.relearn_shards}")
+        if self.rollback_z <= 0:
+            raise PgoError(f"rollback_z must be positive, got {self.rollback_z}")
+        if self.energy_rtol < 0:
+            raise PgoError(f"energy_rtol must be >= 0, got {self.energy_rtol}")
+        if self.cooldown_segments < 0:
+            raise PgoError(
+                f"cooldown_segments must be >= 0, got {self.cooldown_segments}"
+            )
+
+
+@dataclass(frozen=True)
+class SegmentMetrics:
+    """Exact measured cost of one segment (counter deltas, not estimates).
+
+    ``energy_mj`` is the total budget draw (CPU + ADC + radio);
+    ``compute_mj`` excludes the radio.  Transmissions are decided by the
+    program's data path, which placement cannot touch — radio energy is
+    layout-invariant noise from the rollback gate's point of view, so the
+    gate audits ``compute_mj`` while reports still carry the total.
+    """
+
+    segment: int
+    activations: int
+    branches: int
+    taken: int
+    mispredicts: int
+    cycles: int
+    sense_reads: int
+    transmissions: int
+    energy_mj: float
+    compute_mj: float
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Mispredicted fraction of the segment's conditional branches."""
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def energy_per_activation(self) -> float:
+        return self.energy_mj / self.activations if self.activations else 0.0
+
+    @property
+    def compute_per_activation(self) -> float:
+        """Layout-attributable (CPU + ADC) energy per activation."""
+        return self.compute_mj / self.activations if self.activations else 0.0
+
+
+@dataclass(frozen=True)
+class SegmentReport:
+    """What the controller did after one segment, and what it measured."""
+
+    segment: int
+    layout_key: str  # layout that was live *during* the segment
+    phase: str  # phase the segment ran under
+    action: str  # one of ACTIONS, decided at the segment boundary
+    metrics: SegmentMetrics
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class PGOCheckpoint:
+    """Picklable snapshot of a controller mid-run.
+
+    Carries the registry contents (layouts + event log), the full
+    interpreter RAM/counter state, the online estimator's checkpoint, and
+    the health monitor's detector state — everything
+    :meth:`PGOController.resume` needs to continue bit-identically.
+    """
+
+    program_name: str
+    config: PGOConfig
+    layouts: dict[str, ProgramLayout]
+    layout_order: tuple[str, ...]
+    events: tuple[SwapEvent, ...]
+    current_key: str
+    pre_swap_key: Optional[str]
+    phase: str
+    cooldown: int
+    shards_since_reset: int
+    segment_index: int
+    reference: Optional[SegmentMetrics]
+    reports: tuple[SegmentReport, ...]
+    alarms: tuple[AlertEvent, ...]
+    estimator: OnlineCheckpoint
+    monitor_state: dict
+    # Interpreter RAM + bookkeeping (the mote's volatile state).
+    globals_: dict[str, int]
+    arrays: dict[str, list[int]]
+    leds: int
+    cycle: int
+    counters: ExecutionCounters
+    radio_packets: tuple[Packet, ...]
+    radio_dropped: int
+    radio_corrupted: int
+
+
+def _monitor_state(monitor: EstimatorHealthMonitor) -> dict:
+    """Extract the monitor's picklable detector/audit state (deep copies)."""
+    return {
+        "drift": copy.deepcopy(monitor._drift),
+        "alerts": tuple(monitor._alerts),
+        "shards": monitor._shards,
+        "samples": monitor._samples,
+        "shards_since_rebuild": monitor._shards_since_rebuild,
+        "coverage_breached": monitor._coverage_breached,
+        "audit_covered": dict(monitor.audit._covered),
+        "audit_total": dict(monitor.audit._total),
+    }
+
+
+def _restore_monitor(monitor: EstimatorHealthMonitor, state: dict) -> None:
+    """Transplant detector/audit state captured by :func:`_monitor_state`."""
+    monitor._drift = copy.deepcopy(state["drift"])
+    monitor._alerts = list(state["alerts"])
+    monitor._shards = state["shards"]
+    monitor._samples = state["samples"]
+    monitor._shards_since_rebuild = state["shards_since_rebuild"]
+    monitor._coverage_breached = state["coverage_breached"]
+    monitor.audit._covered = dict(state["audit_covered"])
+    monitor.audit._total = dict(state["audit_total"])
+
+
+class PGOController:
+    """Drives one program's closed-loop placement over a segment stream."""
+
+    def __init__(
+        self,
+        program: Program,
+        platform: Platform,
+        config: Optional[PGOConfig] = None,
+        initial_layout: Optional[ProgramLayout] = None,
+    ) -> None:
+        self.program = program
+        self.platform = platform
+        self.config = config or PGOConfig()
+        layout = initial_layout or ProgramLayout.source_order(program)
+        self.registry = LayoutRegistry()
+        self.current_key = self.registry.add(layout)
+        self.registry.record(
+            SwapEvent(segment=-1, kind="initial", key=self.current_key)
+        )
+        self.pre_swap_key: Optional[str] = None
+        self.phase = _STEADY
+        self.cooldown = 0
+        self.shards_since_reset = 0
+        self.segment_index = 0
+        self.reference: Optional[SegmentMetrics] = None
+        self.reports: list[SegmentReport] = []
+        self.alarms: list[AlertEvent] = []
+        self._pending_alarms: list[AlertEvent] = []
+        self._interp: Optional[Interpreter] = None
+        self.estimator: OnlineEstimator = self._fresh_estimator()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _current_layout(self) -> ProgramLayout:
+        return self.registry.get(self.current_key)
+
+    def _on_alert(self, event: AlertEvent) -> None:
+        if event.kind == "drift":
+            self._pending_alarms.append(event)
+            self.alarms.append(event)
+
+    def _fresh_estimator(self) -> OnlineEstimator:
+        """A new estimator + monitor bound to the *current* layout.
+
+        Reset points are alarms, swaps, and rollbacks: timing samples are
+        drawn through the live layout's control-transfer costs, so samples
+        collected under a different layout (or a dead regime) are evidence
+        about a different model and must not leak into the next fit.
+        """
+        estimator = OnlineEstimator(
+            self.program,
+            self.platform,
+            options=self.config.online,
+            layout=self._current_layout(),
+        )
+        monitor = EstimatorHealthMonitor(
+            self.config.health,
+            source="pgo",
+            clock=_zero_clock,
+            sink=self._on_alert,
+        )
+        estimator.attach_health(monitor)
+        self.shards_since_reset = 0
+        obs.inc("pgo.estimator_resets")
+        return estimator
+
+    def _ensure_interpreter(self, sensors: SensorSuite) -> Interpreter:
+        if self._interp is None:
+            self._interp = Interpreter(
+                self.program,
+                self.platform,
+                sensors,
+                layout=self._current_layout(),
+            )
+            if hasattr(self, "_restore_ram"):
+                # First segment after a resume: re-inject the checkpointed
+                # mote RAM and bookkeeping into the fresh interpreter.
+                self._ensure_interpreter_resumed(self._interp)
+        else:
+            self._interp.set_sensors(sensors)
+        return self._interp
+
+    # -- the loop -------------------------------------------------------------
+
+    def run_segment(
+        self,
+        sensors: SensorSuite,
+        activations: int,
+        profiler_rng: RngSource = None,
+    ) -> SegmentReport:
+        """Run one segment and advance the state machine at its boundary.
+
+        ``sensors`` is this segment's input regime (a fresh suite per
+        segment keeps arms comparable across policies); ``profiler_rng``
+        seeds the timer-jitter stream for the segment's shard.
+        """
+        if activations < 1:
+            raise PgoError(f"activations must be >= 1, got {activations}")
+        interp = self._ensure_interpreter(sensors)
+        segment = self.segment_index
+        phase = self.phase
+        live_key = self.current_key
+        with obs.span(
+            "pgo.segment", segment=segment, phase=phase, layout=live_key[:12]
+        ) as span:
+            before = self._cost_snapshot(interp)
+            interp.records.clear()
+            with obs.span("sim.segment", segment=segment, activations=activations):
+                for _ in range(activations):
+                    interp.run_activation()
+            metrics = self._segment_metrics(segment, activations, interp, before)
+            shard = TimingProfiler(self.platform, rng=profiler_rng).collect(
+                interp.records
+            )
+            interp.records.clear()
+            self._pending_alarms = []
+            self.estimator.absorb(shard)
+            self.shards_since_reset += 1
+            action, detail = self._decide(metrics)
+            span.set(action=action, mispredict_rate=round(metrics.mispredict_rate, 6))
+        obs.inc("pgo.segments")
+        report = SegmentReport(
+            segment=segment,
+            layout_key=live_key,
+            phase=phase,
+            action=action,
+            metrics=metrics,
+            detail=detail,
+        )
+        self.reports.append(report)
+        self.segment_index += 1
+        return report
+
+    @staticmethod
+    def _cost_snapshot(interp: Interpreter) -> tuple[int, int, int, int, int, int]:
+        c = interp.counters
+        return (
+            c.branches_executed,
+            c.taken_total,
+            c.mispredict_total,
+            interp.cycle,
+            c.sense_reads,
+            interp.radio.transmissions,
+        )
+
+    def _segment_metrics(
+        self,
+        segment: int,
+        activations: int,
+        interp: Interpreter,
+        before: tuple[int, int, int, int, int, int],
+    ) -> SegmentMetrics:
+        branches, taken, mispredicts, cycle, senses, txs = before
+        c = interp.counters
+        d_cycles = interp.cycle - cycle
+        d_senses = c.sense_reads - senses
+        d_txs = interp.radio.transmissions - txs
+        energy = self.platform.energy.total_mj(
+            cycles=d_cycles, conversions=d_senses, packets=d_txs
+        )
+        compute = self.platform.energy.total_mj(
+            cycles=d_cycles, conversions=d_senses, packets=0
+        )
+        return SegmentMetrics(
+            segment=segment,
+            activations=activations,
+            branches=c.branches_executed - branches,
+            taken=c.taken_total - taken,
+            mispredicts=c.mispredict_total - mispredicts,
+            cycles=d_cycles,
+            sense_reads=d_senses,
+            transmissions=d_txs,
+            energy_mj=energy,
+            compute_mj=compute,
+        )
+
+    # -- the state machine ----------------------------------------------------
+
+    def _decide(self, metrics: SegmentMetrics) -> tuple[str, str]:
+        if self.phase == _TRIAL:
+            return self._judge_trial(metrics)
+        if self.phase == _RELEARN:
+            if self.shards_since_reset >= self.config.relearn_shards:
+                return self._propose(metrics)
+            return "relearn", (
+                f"relearning ({self.shards_since_reset}/"
+                f"{self.config.relearn_shards} shards)"
+            )
+        # Steady state: watch for drift, honour the cooldown.
+        if self.cooldown > 0:
+            self.cooldown -= 1
+            if self._pending_alarms:
+                return "hold", "drift alarm suppressed during cooldown"
+            return "hold", f"cooldown ({self.cooldown} left)"
+        if self._pending_alarms:
+            procs = sorted({a.procedure for a in self._pending_alarms if a.procedure})
+            self.estimator = self._fresh_estimator()
+            self.phase = _RELEARN
+            obs.inc("pgo.drift_alarms")
+            return "alarm", f"drift in {', '.join(procs)}; estimator reset"
+        return "hold", ""
+
+    def _propose(self, metrics: SegmentMetrics) -> tuple[str, str]:
+        """End of relearn: re-optimize placement from the fresh estimate.
+
+        Uses the BTFN-aware refined optimizer — chain formation alone can
+        propose layouts whose hot taken-targets sit backward in flash, which
+        the static predictor then mispredicts on the hot path; the refiner
+        scores candidates under the platform's actual prediction scheme.
+        """
+        candidate = optimize_refined_program_layout(
+            self.program, self.estimator.thetas, self.platform
+        )
+        key = self.registry.add(candidate)
+        if key == self.current_key:
+            # The drift did not move any placement decision; stand down.
+            self.phase = _STEADY
+            self.cooldown = self.config.cooldown_segments
+            return "hold", "re-placement unchanged; no swap"
+        previous = self.current_key
+        self._swap_to(key, metrics.segment, kind="swap", detail="post-drift candidate")
+        self.pre_swap_key = previous
+        self.reference = metrics
+        self.phase = _TRIAL
+        obs.inc("pgo.swaps")
+        obs.instant("pgo.swap", segment=metrics.segment, key=key[:12])
+        return "swap", f"hot-swapped to {key[:12]} (trialing)"
+
+    def _judge_trial(self, metrics: SegmentMetrics) -> tuple[str, str]:
+        """First post-swap segment measured: commit, or roll back."""
+        assert self.reference is not None and self.pre_swap_key is not None
+        regressed, why = self._regression(metrics, self.reference)
+        if regressed:
+            restored = self.pre_swap_key
+            self._swap_to(
+                restored, metrics.segment, kind="rollback", detail=why
+            )
+            self.pre_swap_key = None
+            self.reference = None
+            self.phase = _STEADY
+            self.cooldown = self.config.cooldown_segments
+            obs.inc("pgo.rollbacks")
+            obs.instant("pgo.rollback", segment=metrics.segment, key=restored[:12])
+            return "rollback", why
+        self.pre_swap_key = None
+        self.reference = None
+        self.phase = _STEADY
+        obs.inc("pgo.commits")
+        return "commit", why
+
+    def _regression(
+        self, trial: SegmentMetrics, reference: SegmentMetrics
+    ) -> tuple[bool, str]:
+        """Did the trial segment measure worse than the pre-swap segment?
+
+        The mispredict gate is a one-sided two-proportion Wald test at
+        ``rollback_z``; the energy gate a relative threshold on *compute*
+        energy (CPU + ADC) — radio transmissions are decided by the data
+        path, not the layout, so total energy would let packet-count noise
+        between segments fake or mask a regression.  Both gates compare
+        *measured* segments — the controller audits reality, not the model
+        that proposed the swap.
+        """
+        cfg = self.config
+        r_t, r_r = trial.mispredict_rate, reference.mispredict_rate
+        if trial.branches and reference.branches:
+            se = math.sqrt(
+                r_t * (1.0 - r_t) / trial.branches
+                + r_r * (1.0 - r_r) / reference.branches
+            )
+            if r_t - r_r > cfg.rollback_z * se:
+                return True, (
+                    f"mispredict rate {r_t:.4f} vs pre-swap {r_r:.4f} "
+                    f"(> {cfg.rollback_z:g} SE = {cfg.rollback_z * se:.4f})"
+                )
+        e_t = trial.compute_per_activation
+        e_r = reference.compute_per_activation
+        if e_r > 0 and e_t > e_r * (1.0 + cfg.energy_rtol):
+            return True, (
+                f"compute energy {e_t:.6f} mJ/act vs pre-swap {e_r:.6f} "
+                f"(> +{cfg.energy_rtol:.0%})"
+            )
+        return False, (
+            f"mispredict rate {r_t:.4f} vs pre-swap {r_r:.4f}; swap kept"
+        )
+
+    def _swap_to(self, key: str, segment: int, kind: str, detail: str) -> None:
+        """Install a registered layout at this segment boundary."""
+        previous = self.current_key
+        layout = self.registry.get(key)
+        if self._interp is not None:
+            self._interp.hot_swap_layout(layout)
+        self.current_key = key
+        self.registry.record(
+            SwapEvent(
+                segment=segment, kind=kind, key=key, previous=previous, detail=detail
+            )
+        )
+        # The timing model behind the estimator is layout-bound: re-learn
+        # against the layout that is actually running now.
+        self.estimator = self._fresh_estimator()
+
+    # -- rollups --------------------------------------------------------------
+
+    @property
+    def swaps(self) -> int:
+        return sum(1 for e in self.registry.events if e.kind == "swap")
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for e in self.registry.events if e.kind == "rollback")
+
+    @property
+    def commits(self) -> int:
+        return sum(1 for r in self.reports if r.action == "commit")
+
+    @property
+    def drift_alarm_count(self) -> int:
+        return sum(1 for r in self.reports if r.action == "alarm")
+
+    def totals(self) -> SegmentMetrics:
+        """Cumulative measured cost over every segment run so far."""
+        return SegmentMetrics(
+            segment=-1,
+            activations=sum(r.metrics.activations for r in self.reports),
+            branches=sum(r.metrics.branches for r in self.reports),
+            taken=sum(r.metrics.taken for r in self.reports),
+            mispredicts=sum(r.metrics.mispredicts for r in self.reports),
+            cycles=sum(r.metrics.cycles for r in self.reports),
+            sense_reads=sum(r.metrics.sense_reads for r in self.reports),
+            transmissions=sum(r.metrics.transmissions for r in self.reports),
+            energy_mj=sum(r.metrics.energy_mj for r in self.reports),
+            compute_mj=sum(r.metrics.compute_mj for r in self.reports),
+        )
+
+    # -- checkpoint / resume ---------------------------------------------------
+
+    def checkpoint(self) -> PGOCheckpoint:
+        """Snapshot the whole loop; picklable, independent of this instance.
+
+        Requires the interpreter to exist (at least one segment run) — a
+        brand-new controller has nothing worth snapshotting.
+        """
+        if self._interp is None:
+            raise PgoError("cannot checkpoint before the first segment has run")
+        interp = self._interp
+        monitor = self.estimator.health
+        assert monitor is not None  # _fresh_estimator always attaches one
+        return PGOCheckpoint(
+            program_name=self.program.name,
+            config=self.config,
+            layouts={k: self.registry.get(k) for k in self.registry.keys},
+            layout_order=self.registry.keys,
+            events=self.registry.events,
+            current_key=self.current_key,
+            pre_swap_key=self.pre_swap_key,
+            phase=self.phase,
+            cooldown=self.cooldown,
+            shards_since_reset=self.shards_since_reset,
+            segment_index=self.segment_index,
+            reference=self.reference,
+            reports=tuple(self.reports),
+            alarms=tuple(self.alarms),
+            estimator=self.estimator.checkpoint(),
+            monitor_state=_monitor_state(monitor),
+            globals_=dict(interp.globals),
+            arrays={name: list(xs) for name, xs in interp.arrays.items()},
+            leds=interp.leds,
+            cycle=interp.cycle,
+            counters=copy.deepcopy(interp.counters),
+            radio_packets=tuple(interp.radio.packets),
+            radio_dropped=interp.radio.dropped_packets,
+            radio_corrupted=interp.radio.corrupted_packets,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        program: Program,
+        platform: Platform,
+        checkpoint: PGOCheckpoint,
+    ) -> "PGOController":
+        """Rebuild a controller from a checkpoint, bit-identically.
+
+        The resumed controller's subsequent :meth:`run_segment` calls
+        produce the same reports, swaps, and rollbacks as the original
+        would have — given the same sensor suites and profiler seeds.
+        """
+        if checkpoint.program_name != program.name:
+            raise PgoError(
+                f"checkpoint belongs to program {checkpoint.program_name!r}, "
+                f"not {program.name!r}"
+            )
+        self = cls.__new__(cls)
+        self.program = program
+        self.platform = platform
+        self.config = checkpoint.config
+        self.registry = LayoutRegistry()
+        for key in checkpoint.layout_order:
+            restored = self.registry.add(checkpoint.layouts[key])
+            if restored != key:
+                raise PgoError(
+                    f"layout {key[:16]}... re-fingerprinted as "
+                    f"{restored[:16]}... on resume"
+                )
+        for event in checkpoint.events:
+            self.registry.record(event)
+        self.current_key = checkpoint.current_key
+        self.pre_swap_key = checkpoint.pre_swap_key
+        self.phase = checkpoint.phase
+        self.cooldown = checkpoint.cooldown
+        self.segment_index = checkpoint.segment_index
+        self.reference = checkpoint.reference
+        self.reports = list(checkpoint.reports)
+        self.alarms = list(checkpoint.alarms)
+        self._pending_alarms = []
+        self._interp = None
+        self.estimator = OnlineEstimator.resume(
+            program,
+            platform,
+            checkpoint.estimator,
+            options=self.config.online,
+            layout=self.registry.get(self.current_key),
+        )
+        monitor = EstimatorHealthMonitor(
+            self.config.health,
+            source="pgo",
+            clock=_zero_clock,
+            sink=self._on_alert,
+        )
+        _restore_monitor(monitor, checkpoint.monitor_state)
+        self.estimator.attach_health(monitor)
+        self.shards_since_reset = checkpoint.shards_since_reset
+        self._restore_ram = checkpoint  # applied when the interpreter exists
+        obs.inc("pgo.resumes")
+        return self
+
+    def _ensure_interpreter_resumed(self, interp: Interpreter) -> None:
+        ckpt: PGOCheckpoint = self._restore_ram
+        interp.globals = dict(ckpt.globals_)
+        interp.arrays = {name: list(xs) for name, xs in ckpt.arrays.items()}
+        interp.leds = ckpt.leds
+        interp.cycle = ckpt.cycle
+        interp.counters = copy.deepcopy(ckpt.counters)
+        interp.radio.packets = list(ckpt.radio_packets)
+        interp.radio.dropped_packets = ckpt.radio_dropped
+        interp.radio.corrupted_packets = ckpt.radio_corrupted
+        del self._restore_ram

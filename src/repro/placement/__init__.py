@@ -11,6 +11,8 @@ taken branches and static mispredictions.  The package provides:
   formation from edge frequencies;
 * :mod:`repro.placement.optimizer` — the profile-guided placement pass;
 * :mod:`repro.placement.baselines` — source-order and random placements;
+* :mod:`repro.placement.refine` — BTFN-aware local-search refinement over
+  the exact expected control-transfer cost (chains are predictor-blind);
 * :mod:`repro.placement.mispredict` — exact expected misprediction / taken /
   cycle metrics for a layout under a branch-probability assignment.
 """
@@ -20,6 +22,12 @@ from repro.placement.baselines import random_program_layout, source_order_layout
 from repro.placement.chains import build_chains
 from repro.placement.optimizer import optimize_layout, optimize_program_layout
 from repro.placement.mispredict import LayoutMetrics, evaluate_layout, evaluate_program_layout
+from repro.placement.refine import (
+    control_transfer_cost,
+    optimize_refined_layout,
+    optimize_refined_program_layout,
+    refine_layout,
+)
 from repro.placement.rom import LayoutRom, layout_rom, program_layout_rom
 
 __all__ = [
@@ -31,6 +39,10 @@ __all__ = [
     "build_chains",
     "optimize_layout",
     "optimize_program_layout",
+    "control_transfer_cost",
+    "refine_layout",
+    "optimize_refined_layout",
+    "optimize_refined_program_layout",
     "LayoutMetrics",
     "evaluate_layout",
     "evaluate_program_layout",

@@ -20,25 +20,43 @@ expected-misprediction evaluator, so their numbers agree by construction.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import PlacementError
 from repro.ir.cfg import CFG
-from repro.ir.instructions import Branch, Jump
+from repro.ir.instructions import Branch, Jump, Return
 from repro.ir.program import Program
 
 __all__ = ["Layout", "ProgramLayout", "ResolvedBranch"]
 
 
+def _terminator_signature(term: object) -> tuple:
+    """Structural identity of a block terminator (type + operands)."""
+    if isinstance(term, Branch):
+        return ("branch", term.cond, term.then_target, term.else_target)
+    if isinstance(term, Jump):
+        return ("jump", term.target)
+    if isinstance(term, Return):
+        return ("return", term.value)
+    return ("open",)
+
+
 @dataclass(frozen=True)
 class ResolvedBranch:
-    """How one conditional branch behaves under a specific layout."""
+    """How one conditional branch behaves under a specific layout.
+
+    ``taken_arm`` is ``None`` for a *degenerate fall-through* branch —
+    both targets name the block physically next in flash, so control falls
+    through whichever way the condition goes and no taken direction exists
+    (``fallthrough_arm`` is also ``None`` there: it cannot name both arms).
+    """
 
     label: str
     then_target: str
     else_target: str
-    taken_arm: str  # "then" or "else": the arm reached via the taken direction
+    taken_arm: Optional[str]  # "then"/"else" reached via the taken direction
     fallthrough_arm: Optional[str]  # arm reached by falling through, if any
     extra_jump_arm: Optional[str]  # arm paying an extra unconditional jump
     backward_taken_target: bool  # taken target earlier in flash than the branch
@@ -97,13 +115,19 @@ class Layout:
         if not isinstance(term, Branch):
             raise PlacementError(f"block {label!r} does not end in a conditional branch")
         nxt = self.next_label(label)
-        if term.else_target == nxt:
+        if term.then_target == term.else_target == nxt:
+            # Degenerate branch whose single target is next in flash: control
+            # falls through regardless of the condition, so neither arm is a
+            # taken transfer.  (Labelling the then arm taken here — the old
+            # behaviour — charged phantom taken/mispredict events.)
+            taken_arm, fallthrough_arm, extra_jump_arm = None, None, None
+        elif term.else_target == nxt:
             taken_arm, fallthrough_arm, extra_jump_arm = "then", "else", None
         elif term.then_target == nxt:
             taken_arm, fallthrough_arm, extra_jump_arm = "else", "then", None
         else:
             taken_arm, fallthrough_arm, extra_jump_arm = "then", None, "else"
-        taken_target = term.then_target if taken_arm == "then" else term.else_target
+        taken_target = term.else_target if taken_arm == "else" else term.then_target
         backward = self.position(taken_target) <= self.position(label)
         return ResolvedBranch(
             label=label,
@@ -126,8 +150,42 @@ class Layout:
             raise PlacementError(f"block {label!r} does not end in a jump")
         return self.is_fallthrough(label, term.target)
 
+    # -- identity --------------------------------------------------------------
+
+    def structural_key(self) -> tuple:
+        """A hashable value capturing the layout up to CFG structure.
+
+        Two layouts are interchangeable exactly when their flash orders match
+        and their CFGs agree structurally — same entry, same blocks in source
+        order, same instructions, same terminators.  Object identity of the
+        CFG is deliberately *not* part of the key: a layout that crossed a
+        pickle/checkpoint boundary must still compare (and hash) equal to the
+        original.  The key is computed once per layout; layouts are built on
+        finished CFGs, which never mutate afterwards.
+        """
+        cached = getattr(self, "_structural_key", None)
+        if cached is None:
+            blocks = tuple(
+                (
+                    block.label,
+                    tuple(str(instr) for instr in block.instructions),
+                    _terminator_signature(block.terminator),
+                )
+                for block in self.cfg
+            )
+            cached = (self.cfg.entry, blocks, tuple(self.order))
+            self._structural_key = cached
+        return cached
+
+    def fingerprint(self) -> str:
+        """Content address of this layout (SHA-256 over the structural key)."""
+        return hashlib.sha256(repr(self.structural_key()).encode()).hexdigest()
+
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Layout) and self.order == other.order and self.cfg is other.cfg
+        return isinstance(other, Layout) and self.structural_key() == other.structural_key()
+
+    def __hash__(self) -> int:
+        return hash(self.structural_key())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Layout({' -> '.join(self.order)})"
@@ -160,3 +218,26 @@ class ProgramLayout:
 
     def __iter__(self) -> Iterable[tuple[str, Layout]]:
         return iter(self.layouts.items())
+
+    def fingerprint(self) -> str:
+        """Content address over every procedure's layout, in program order.
+
+        This is what :class:`~repro.pgo.registry.LayoutRegistry` keys on:
+        structurally identical program layouts — including ones rebuilt from
+        a checkpoint — map to the same digest.
+        """
+        digest = hashlib.sha256(self.program.name.encode())
+        for proc in self.program:
+            digest.update(proc.name.encode())
+            digest.update(self.layouts[proc.name].fingerprint().encode())
+        return digest.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ProgramLayout)
+            and self.layouts.keys() == other.layouts.keys()
+            and all(other.layouts[name] == layout for name, layout in self.layouts.items())
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((n, l.structural_key()) for n, l in self.layouts.items())))

@@ -1,0 +1,192 @@
+"""BTFN-aware layout refinement: local search over control-transfer cost.
+
+Pettis–Hansen chain formation (:mod:`repro.placement.chains`) maximizes
+fall-through frequency, but it is *blind to the static predictor*: a chain
+that hoists a branch's hot fall-through arm above the branch turns the cold
+taken-target into a backward target, which a BTFN scheme predicts taken —
+converting a well-predicted cold edge into a hot misprediction source.  The
+pathology is structural, not a tuning issue: chain formation only ever sees
+edge frequencies, never prediction direction.
+
+This module closes that gap with a refinement pass.  The objective is the
+exact expected control-transfer cost per invocation under the platform's
+:class:`~repro.mote.cpu.CpuModel` — branch base cycles, taken-extra cycles,
+the BTFN mispredict penalty, and non-elided unconditional jumps, each
+weighted by the block's expected executions from the fundamental matrix.
+Block visit counts depend only on the branch probabilities, never on the
+layout, so they are computed once per (procedure, theta) and every candidate
+layout is scored in O(blocks).
+
+The search is a deterministic first-improvement descent over single-block
+relocations (entry pinned first, as the call convention requires), seeded
+from the Pettis–Hansen layout *and* from source order; the cheaper of the
+two descents wins (ties prefer the chain-seeded one).  Mote procedures have
+tens of blocks at most, so the search is effectively free next to one EM
+update — cheap enough for the closed-loop re-placer (:mod:`repro.pgo`) to
+run it on every drift alarm.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Jump
+from repro.ir.program import Program
+from repro.markov.builders import BranchParameterization
+from repro.markov.visits import expected_visits
+from repro.mote.platform import Platform
+from repro.placement.layout import Layout, ProgramLayout
+from repro.placement.optimizer import optimize_layout
+
+__all__ = [
+    "control_transfer_cost",
+    "refine_layout",
+    "optimize_refined_layout",
+    "optimize_refined_program_layout",
+]
+
+#: Safety valve on descent length; each pass strictly lowers the cost, and a
+#: procedure with n blocks has at most ~n^2 distinct relocations, so real
+#: descents terminate long before this.
+_MAX_PASSES = 200
+
+
+def _visit_counts(
+    cfg: CFG, theta: Sequence[float]
+) -> tuple[BranchParameterization, np.ndarray, dict[str, float]]:
+    """Expected per-invocation executions of every block (layout-invariant)."""
+    par = BranchParameterization(cfg)
+    vec = par.validate_theta(np.asarray(theta, dtype=float))
+    chain = par.chain(vec, {label: 0.0 for label in par.states})
+    return par, vec, expected_visits(chain)
+
+
+def control_transfer_cost(
+    cfg: CFG,
+    layout: Layout,
+    theta: Sequence[float],
+    platform: Platform,
+    _precomputed: tuple[BranchParameterization, np.ndarray, dict[str, float]] | None = None,
+) -> float:
+    """Expected control-transfer cycles per invocation under ``layout``.
+
+    Sums, over every reachable branch site, each arm's branch cost (base +
+    taken-extra + mispredict penalty, as the BTFN predictor sees the layout)
+    plus the extra unconditional jump an off-path arm pays, and over every
+    reachable jump block its (possibly elided) jump cost.  Straight-line
+    block cycles and return overhead are layout-invariant and excluded, so
+    differences between layouts are exactly differences in this value.
+    """
+    par, vec, visits = _precomputed or _visit_counts(cfg, theta)
+    cpu = platform.cpu
+    cost = 0.0
+    for k, label in enumerate(par.branch_labels):
+        executions = visits[label]
+        if executions == 0.0:
+            continue
+        site = layout.resolve_branch(label)
+        for arm, p_arm in (("then", float(vec[k])), ("else", 1.0 - float(vec[k]))):
+            if p_arm == 0.0:
+                continue
+            arm_cycles = cpu.branch_cost(
+                taken=site.arm_taken(arm),
+                backward_target=site.backward_taken_target,
+            )
+            if arm == site.extra_jump_arm:
+                arm_cycles += cpu.jump_cycles
+            cost += executions * p_arm * arm_cycles
+    for block in cfg:
+        if not isinstance(block.terminator, Jump):
+            continue
+        executions = visits.get(block.label, 0.0)
+        if executions == 0.0:
+            continue
+        cost += executions * cpu.jump_cost(fallthrough=layout.jump_is_elided(block.label))
+    return cost
+
+
+def refine_layout(
+    cfg: CFG,
+    theta: Sequence[float],
+    platform: Platform,
+    start: Layout,
+) -> Layout:
+    """Descend from ``start`` by single-block relocations; returns a local
+    minimum of :func:`control_transfer_cost` (possibly ``start`` itself).
+
+    First-improvement with a fixed scan order (block position, then target
+    position), restarting after every accepted move — fully deterministic.
+    """
+    if start.cfg is not cfg and start.cfg.labels != cfg.labels:
+        raise PlacementError("start layout does not belong to the given CFG")
+    pre = _visit_counts(cfg, theta)
+    best = start
+    best_cost = control_transfer_cost(cfg, best, theta, platform, _precomputed=pre)
+    for _ in range(_MAX_PASSES):
+        improved = False
+        order = best.order
+        n = len(order)
+        for i in range(1, n):  # entry stays pinned at slot 0
+            for j in range(1, n):
+                if i == j:
+                    continue
+                moved = list(order)
+                moved.insert(j, moved.pop(i))
+                candidate = Layout(cfg, moved)
+                cost = control_transfer_cost(
+                    cfg, candidate, theta, platform, _precomputed=pre
+                )
+                if cost < best_cost - 1e-9:
+                    best, best_cost = candidate, cost
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            return best
+    return best  # pragma: no cover - descent always converges well before this
+
+
+def optimize_refined_layout(
+    cfg: CFG, theta: Sequence[float], platform: Platform
+) -> Layout:
+    """Chain formation followed by BTFN-aware refinement, for one procedure.
+
+    Runs the descent from the Pettis–Hansen layout and from source order and
+    keeps the cheaper local minimum (ties prefer the chain-seeded descent,
+    so the profile-guided structure survives when the costs agree).
+    """
+    from_chains = refine_layout(cfg, theta, platform, optimize_layout(cfg, theta))
+    from_source = refine_layout(cfg, theta, platform, Layout.source_order(cfg))
+    pre = _visit_counts(cfg, theta)
+    chain_cost = control_transfer_cost(cfg, from_chains, theta, platform, _precomputed=pre)
+    source_cost = control_transfer_cost(cfg, from_source, theta, platform, _precomputed=pre)
+    return from_source if source_cost < chain_cost - 1e-9 else from_chains
+
+
+def optimize_refined_program_layout(
+    program: Program,
+    thetas: Mapping[str, Sequence[float]],
+    platform: Platform,
+) -> ProgramLayout:
+    """Refined placement for every procedure; ``thetas`` maps name → vector.
+
+    The program-level analogue of
+    :func:`~repro.placement.optimizer.optimize_program_layout`; this is the
+    placement step the closed-loop controller and experiment F10 use.
+    """
+    layouts: dict[str, Layout] = {}
+    for proc in program:
+        par = BranchParameterization(proc.cfg)
+        theta = np.asarray(thetas.get(proc.name, ()), dtype=float)
+        if theta.shape != (par.n_parameters,):
+            raise PlacementError(
+                f"thetas[{proc.name!r}] must have length {par.n_parameters}, "
+                f"got shape {theta.shape}"
+            )
+        layouts[proc.name] = optimize_refined_layout(proc.cfg, theta, platform)
+    return ProgramLayout(program, layouts)

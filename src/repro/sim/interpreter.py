@@ -308,6 +308,34 @@ class Interpreter:
         """One top-level activation of the program's entry procedure."""
         return self.invoke(self.program.entry, ())
 
+    def hot_swap_layout(self, layout: ProgramLayout) -> None:
+        """Re-flash the code image mid-run: adopt a new block layout.
+
+        Only safe at an activation boundary (no invocation in flight) — the
+        mote analogue is rewriting flash while the scheduler is idle.  RAM
+        state (globals, arrays), the cycle counter, counters, and records
+        all survive: the swap changes *where code sits in flash*, not what
+        it computes, so subsequent activations pay the new layout's
+        control-transfer costs on the same program state.
+        """
+        if layout.program is not self.program and set(layout.layouts) != set(
+            self.program.procedures
+        ):
+            raise SimulationError(
+                "hot-swapped layout does not cover this interpreter's program"
+            )
+        self.layout = layout
+        self._resolved = {
+            proc.name: layout.layout(proc.name).resolve_all_branches()
+            for proc in self.program
+        }
+
+    def set_sensors(self, sensors: SensorSuite) -> None:
+        """Swap the sensor suite between activations (environment segments)."""
+        self.sensors = sensors
+        if self.faults is not None:
+            self.sensors.attach_faults(self.faults)
+
     def reboot(self) -> None:
         """Reset volatile (RAM) state the way a node reboot would.
 

@@ -491,7 +491,10 @@ def compile_vectorized(
                     then_edge,
                     else_edge,
                     site_gid,
-                    site.taken_arm == "then",
+                    # Per-arm taken flags (both False for a degenerate
+                    # fall-through branch — see Layout.resolve_branch).
+                    site.arm_taken("then"),
+                    site.arm_taken("else"),
                     predicted,
                     site.backward_taken_target,
                     {"then": 1, "else": 2}.get(site.extra_jump_arm, 0),
@@ -758,14 +761,20 @@ class VectorFleet:
             then_edge,
             else_edge,
             site_gid,
-            taken_if_then,
+            then_taken,
+            else_taken,
             predicted,
             backward,
             extra_arm,
             pred_counter,
         ) = node.data
         cond = self.V[idx, cond_slot] != 0
-        taken = cond if taken_if_then else ~cond
+        if then_taken == else_taken:
+            # Degenerate site: both arms share one fate (False when the
+            # common target is the fall-through block).
+            taken = np.full(idx.size, then_taken, dtype=bool)
+        else:
+            taken = cond if then_taken else ~cond
         mispredicted = taken != predicted
         cyc = np.full(idx.size, cpu.branch_base_cycles, dtype=np.int64)
         cyc += taken * cpu.taken_extra_cycles

@@ -95,12 +95,18 @@ class TestEstimateEpochs:
     def test_partial_trailing_epoch_policy(self):
         model = diamond_model()
         xs = sample_rewards(model.chain([0.5]), 1100, rng=11)
-        # 1000-size epochs: trailing 100 samples < half an epoch -> dropped.
+        # 1000-size epochs: trailing 100 samples < half an epoch -> dropped,
+        # and the drop is accounted for explicitly rather than silently.
         track = estimate_epochs(model, xs, epoch_size=1000, rng=12)
         assert track.n_epochs == 1
-        # 700-size epochs: trailing 400 >= half -> kept.
+        assert track.n_dropped == 100
+        assert sum(track.n_samples) + track.n_dropped == len(xs)
+        # 700-size epochs: trailing 400 >= half -> kept, nothing dropped.
         track = estimate_epochs(model, xs, epoch_size=700, rng=13)
         assert track.n_epochs == 2
+        assert track.n_dropped == 0
+        assert track.n_samples == (700, 400)
+        assert sum(track.n_samples) + track.n_dropped == len(xs)
 
     def test_bad_arguments_rejected(self):
         model = diamond_model()

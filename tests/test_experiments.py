@@ -233,3 +233,47 @@ class TestF8Shapes:
         classic = np.mean([t for t, _ in faulted])
         robust = np.mean([r for _, r in faulted])
         assert robust <= classic + 1e-9
+
+
+class TestF10Shapes:
+    def test_rows_cover_every_workload_and_policy(self, results):
+        from repro.experiments import fig_f10_closed_loop as f10
+
+        series = results["f10"].series
+        assert list(zip(series["workload"], series["policy"])) == [
+            (wl, p) for wl in f10.WORKLOADS for p in f10.POLICIES
+        ]
+
+    def test_closed_loop_beats_static_and_oracle_bounds_it(self, results):
+        series = results["f10"].series
+        by = {
+            (wl, p): i
+            for i, (wl, p) in enumerate(zip(series["workload"], series["policy"]))
+        }
+        for wl in set(series["workload"]):
+            static = by[(wl, "static")]
+            closed = by[(wl, "closed-loop")]
+            oracle = by[(wl, "oracle")]
+            assert series["mispredicts"][closed] < series["mispredicts"][static], wl
+            assert series["mispredicts"][oracle] <= series["mispredicts"][closed], wl
+            assert series["energy_mj"][closed] < series["energy_mj"][static], wl
+            assert series["compute_mj"][closed] < series["compute_mj"][static], wl
+            assert 0.0 < series["captured"][closed] <= 1.0, wl
+            assert series["captured"][oracle] == 1.0, wl
+
+    def test_probe_trap_rolls_back_and_sustained_shift_commits(self, results):
+        series = results["f10"].series
+        actions = {
+            wl: [
+                a
+                for w, a in zip(
+                    series["timeline_workload"], series["timeline_action"]
+                )
+                if w == wl
+            ]
+            for wl in set(series["timeline_workload"])
+        }
+        assert "rollback" in actions["probe"]
+        assert "commit" in actions["probe"]
+        assert "commit" in actions["sense"]
+        assert "rollback" not in actions["sense"]

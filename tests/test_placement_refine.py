@@ -1,0 +1,160 @@
+"""Tests for BTFN-aware layout refinement.
+
+The headline regression here is the chain-formation pathology that
+motivated the module: Pettis–Hansen chains optimize fall-through frequency
+while ignoring the static predictor, so on a hot loop-guarded branch they
+can hoist the hot arm above the branch — turning the cold taken-target
+backward in flash, which BTFN then predicts *taken* on every execution.
+The refiner must undo exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.lang import compile_source
+from repro.mote.platform import MICAZ_LIKE
+from repro.placement import (
+    Layout,
+    ProgramLayout,
+    control_transfer_cost,
+    evaluate_program_layout,
+    optimize_layout,
+    optimize_program_layout,
+    optimize_refined_layout,
+    optimize_refined_program_layout,
+    refine_layout,
+    source_order_layout,
+)
+
+#: A hot 8-iteration loop gated by one reading — the F10 probe's shape.
+HOT_LOOP_SRC = """
+global acc = 0;
+proc main() {
+    var v = sense(ch);
+    var i = 0;
+    while (i < 8) {
+        if (v > 700) {
+            acc = acc + v;
+        }
+        i = i + 1;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def hot_loop():
+    return compile_source(HOT_LOOP_SRC, name="hotloop", entry="main")
+
+
+def theta_for(program, p_hot):
+    """[loop-continue, hot-branch] probabilities for the single procedure."""
+    return {"main": np.array([8.0 / 9.0, p_hot])}
+
+
+class TestControlTransferCost:
+    def test_matches_analytic_cycle_differences(self, hot_loop):
+        """Cost differences between layouts equal expected-cycle differences:
+        straight-line work is layout-invariant, control transfer is not."""
+        thetas = theta_for(hot_loop, 0.9)
+        cfg = hot_loop.procedure("main").cfg
+        a = Layout.source_order(cfg)
+        b = optimize_refined_layout(cfg, thetas["main"], MICAZ_LIKE)
+        cost_delta = control_transfer_cost(
+            cfg, a, thetas["main"], MICAZ_LIKE
+        ) - control_transfer_cost(cfg, b, thetas["main"], MICAZ_LIKE)
+        cycles_delta = (
+            evaluate_program_layout(
+                hot_loop, ProgramLayout(hot_loop, {"main": a}), thetas, MICAZ_LIKE
+            ).expected_cycles
+            - evaluate_program_layout(
+                hot_loop, ProgramLayout(hot_loop, {"main": b}), thetas, MICAZ_LIKE
+            ).expected_cycles
+        )
+        assert cost_delta == pytest.approx(cycles_delta, abs=1e-6)
+
+    def test_rejects_foreign_layout(self, hot_loop):
+        cfg = hot_loop.procedure("main").cfg
+        other = compile_source(HOT_LOOP_SRC, name="twin", entry="main")
+        other_cfg = other.procedure("main").cfg
+        # Structurally identical CFGs are accepted (labels agree)...
+        refine_layout(cfg, theta_for(hot_loop, 0.5)["main"], MICAZ_LIKE,
+                      Layout.source_order(other_cfg))
+        # ...but a layout over different blocks is not.
+        diamond = compile_source(
+            "proc main() { if (sense(a) > 1) { led(1); } }", name="d"
+        ).procedure("main").cfg
+        with pytest.raises(PlacementError, match="does not belong"):
+            refine_layout(
+                cfg, theta_for(hot_loop, 0.5)["main"], MICAZ_LIKE,
+                Layout.source_order(diamond),
+            )
+
+
+class TestRefinementQuality:
+    @pytest.mark.parametrize("p_hot", [0.05, 0.3, 0.5, 0.7, 0.95])
+    def test_never_worse_than_chains_or_source(self, hot_loop, p_hot):
+        thetas = theta_for(hot_loop, p_hot)
+        cfg = hot_loop.procedure("main").cfg
+        refined = optimize_refined_layout(cfg, thetas["main"], MICAZ_LIKE)
+        for baseline in (
+            optimize_layout(cfg, thetas["main"]),
+            Layout.source_order(cfg),
+        ):
+            assert control_transfer_cost(
+                cfg, refined, thetas["main"], MICAZ_LIKE
+            ) <= control_transfer_cost(
+                cfg, baseline, thetas["main"], MICAZ_LIKE
+            ) + 1e-9
+
+    def test_fixes_chain_formation_mispredict_pathology(self, hot_loop):
+        """Regression: under a hot-arm regime, the PH layout must not be
+        left with more expected mispredicts than the refined one — and the
+        refined layout must keep the hot site well-predicted."""
+        thetas = theta_for(hot_loop, 0.95)
+        ph = optimize_program_layout(hot_loop, thetas)
+        refined = optimize_refined_program_layout(hot_loop, thetas, MICAZ_LIKE)
+        m_ph = evaluate_program_layout(hot_loop, ph, thetas, MICAZ_LIKE)
+        m_ref = evaluate_program_layout(hot_loop, refined, thetas, MICAZ_LIKE)
+        assert m_ref.mispredicts <= m_ph.mispredicts + 1e-9
+        assert m_ref.expected_cycles <= m_ph.expected_cycles + 1e-9
+        # ~8 hot-branch executions/activation: a well-predicted layout leaves
+        # only the loop exit + the cold tail mispredicted.
+        assert m_ref.mispredict_rate < 0.2
+
+    def test_descent_is_deterministic(self, hot_loop):
+        thetas = theta_for(hot_loop, 0.7)
+        cfg = hot_loop.procedure("main").cfg
+        a = optimize_refined_layout(cfg, thetas["main"], MICAZ_LIKE)
+        b = optimize_refined_layout(cfg, thetas["main"], MICAZ_LIKE)
+        assert a == b and a.order == b.order
+
+    def test_program_level_validates_theta_shape(self, hot_loop):
+        with pytest.raises(PlacementError, match="length"):
+            optimize_refined_program_layout(
+                hot_loop, {"main": [0.5]}, MICAZ_LIKE
+            )
+
+    def test_program_level_beats_source_order_on_workloads(self):
+        """On every registered workload, refined placement is no worse than
+        source order under that workload's typical probabilities."""
+        from repro.markov.builders import BranchParameterization
+        from repro.workloads.registry import all_workloads
+
+        for spec in all_workloads():
+            program = spec.program()
+            name = program.name
+            thetas = {
+                proc.name: np.full(
+                    BranchParameterization(proc.cfg).n_parameters, 0.3
+                )
+                for proc in program
+            }
+            refined = optimize_refined_program_layout(program, thetas, MICAZ_LIKE)
+            src = source_order_layout(program)
+            m_ref = evaluate_program_layout(program, refined, thetas, MICAZ_LIKE)
+            m_src = evaluate_program_layout(program, src, thetas, MICAZ_LIKE)
+            assert m_ref.expected_cycles <= m_src.expected_cycles + 1e-9, name
